@@ -1,0 +1,88 @@
+// Command authdns runs the authoritative name server for the
+// measurement zone (the paper's BIND9 on a.com): a wildcard A record
+// answers every <UUID> cache-busting subdomain.
+//
+// Usage:
+//
+//	authdns -listen 127.0.0.1:5300 -zone a.com -addr 127.0.0.1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/authserver"
+	"repro/internal/dnswire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5300", "UDP+TCP listen address")
+	zoneName := flag.String("zone", "a.com", "zone origin")
+	target := flag.String("addr", "127.0.0.1", "A record target for the wildcard")
+	zoneFile := flag.String("zonefile", "", "BIND-style master file to load instead of the built-in zone")
+	secondary := flag.String("secondary", "", "act as a secondary: AXFR the zone from this primary (host:port)")
+	flag.Parse()
+
+	origin := dnswire.NewName(*zoneName)
+	var zone *authserver.Zone
+	if *secondary != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		z, err := authserver.RequestAXFR(ctx, *secondary, origin)
+		cancel()
+		if err != nil {
+			log.Fatalf("authdns: zone transfer from %s: %v", *secondary, err)
+		}
+		zone = z
+	} else if *zoneFile != "" {
+		f, err := os.Open(*zoneFile)
+		if err != nil {
+			log.Fatalf("authdns: %v", err)
+		}
+		zone, err = authserver.ParseZoneFile(f, origin)
+		f.Close()
+		if err != nil {
+			log.Fatalf("authdns: %v", err)
+		}
+		origin = zone.Origin()
+	} else {
+		addr, err := netip.ParseAddr(*target)
+		if err != nil {
+			log.Fatalf("authdns: bad -addr: %v", err)
+		}
+		zone = authserver.NewZone(origin)
+		if err := zone.SetSOA(dnswire.NewName("ns1."+*zoneName), dnswire.NewName("hostmaster."+*zoneName), 2021042901); err != nil {
+			log.Fatalf("authdns: %v", err)
+		}
+		records := []dnswire.ResourceRecord{
+			{Name: origin, TTL: 3600, Data: dnswire.NSRecord{NS: dnswire.NewName("ns1." + *zoneName)}},
+			{Name: dnswire.NewName("ns1." + *zoneName), TTL: 3600, Data: dnswire.ARecord{Addr: addr}},
+			{Name: dnswire.NewName("www." + *zoneName), TTL: 300, Data: dnswire.ARecord{Addr: addr}},
+			{Name: dnswire.NewName("*." + *zoneName), TTL: 60, Data: dnswire.ARecord{Addr: addr}},
+		}
+		for _, rr := range records {
+			if err := zone.Add(rr); err != nil {
+				log.Fatalf("authdns: %v", err)
+			}
+		}
+	}
+
+	srv := authserver.NewServer(zone)
+	srv.Logger = log.New(os.Stderr, "authdns: ", log.LstdFlags)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		log.Fatalf("authdns: %v", err)
+	}
+	fmt.Printf("authdns: serving %s on %s (%s)\n", origin, srv.Addr(), zone)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("authdns: %d queries served, shutting down\n", len(srv.QueryLog()))
+	srv.Close()
+}

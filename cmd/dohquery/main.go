@@ -1,0 +1,133 @@
+// Command dohquery is a dig-like lookup tool speaking both DoH
+// (RFC 8484) and conventional Do53.
+//
+// Usage:
+//
+//	dohquery -doh https://127.0.0.1:8443/dns-query example.com A
+//	dohquery -do53 127.0.0.1:5353 example.com AAAA
+//	dohquery -doh https://... -n 5 example.com A   # reuse the connection
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dnsclient"
+	"repro/internal/dnswire"
+	"repro/internal/dohclient"
+	"repro/internal/dot"
+	"repro/internal/tlsutil"
+)
+
+func main() {
+	dohURL := flag.String("doh", "", "DoH endpoint URL (e.g. https://host:port/dns-query)")
+	do53 := flag.String("do53", "", "Do53 server address (host:port)")
+	dotAddr := flag.String("dot", "", "DoT server address (host:port)")
+	insecure := flag.Bool("insecure", false, "skip TLS certificate verification (self-signed test servers)")
+	n := flag.Int("n", 1, "number of queries over one connection (DoHN measurement)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-query timeout")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) < 1 || (*dohURL == "" && *do53 == "" && *dotAddr == "") {
+		fmt.Fprintln(os.Stderr, "usage: dohquery (-doh URL | -do53 ADDR | -dot ADDR) [-n N] name [type]")
+		os.Exit(2)
+	}
+	name := dnswire.NewName(args[0])
+	qtype := dnswire.TypeA
+	if len(args) > 1 {
+		switch strings.ToUpper(args[1]) {
+		case "A":
+			qtype = dnswire.TypeA
+		case "AAAA":
+			qtype = dnswire.TypeAAAA
+		case "TXT":
+			qtype = dnswire.TypeTXT
+		case "NS":
+			qtype = dnswire.TypeNS
+		case "CNAME":
+			qtype = dnswire.TypeCNAME
+		case "MX":
+			qtype = dnswire.TypeMX
+		case "SOA":
+			qtype = dnswire.TypeSOA
+		default:
+			fmt.Fprintf(os.Stderr, "unknown type %q\n", args[1])
+			os.Exit(2)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*n)*(*timeout))
+	defer cancel()
+
+	if *dohURL != "" {
+		opts := []dohclient.Option{}
+		if *insecure {
+			opts = append(opts, dohclient.WithInsecureTLS())
+		}
+		c, err := dohclient.New(*dohURL, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		for i := 0; i < *n; i++ {
+			qname := name
+			if *n > 1 {
+				qname = dnswire.NewName(fmt.Sprintf("q%d-%s", i, name))
+			}
+			resp, timing, err := c.Query(ctx, qname, qtype)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf(";; query %d: total=%v dns=%v connect=%v tls=%v reused=%v\n",
+				i+1, timing.Total.Round(time.Microsecond), timing.DNSLookup.Round(time.Microsecond),
+				timing.Connect.Round(time.Microsecond), timing.TLSHandshake.Round(time.Microsecond), timing.Reused)
+			if i == *n-1 {
+				fmt.Print(resp)
+			}
+		}
+		return
+	}
+
+	if *dotAddr != "" {
+		c := &dot.Client{Addr: *dotAddr, Timeout: *timeout}
+		if *insecure {
+			c.TLSConfig = tlsutil.InsecureClientConfig()
+		}
+		defer c.Close()
+		for i := 0; i < *n; i++ {
+			qname := name
+			if *n > 1 {
+				qname = dnswire.NewName(fmt.Sprintf("q%d-%s", i, name))
+			}
+			resp, timing, err := c.Query(ctx, qname, qtype)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf(";; query %d: total=%v connect=%v tls=%v reused=%v\n",
+				i+1, timing.Total.Round(time.Microsecond), timing.Connect.Round(time.Microsecond),
+				timing.TLSHandshake.Round(time.Microsecond), timing.Reused)
+			if i == *n-1 {
+				fmt.Print(resp)
+			}
+		}
+		return
+	}
+
+	var c dnsclient.Client
+	c.Timeout = *timeout
+	resp, rtt, err := c.Query(ctx, *do53, name, qtype)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf(";; Do53 query time: %v\n", rtt.Round(time.Microsecond))
+	fmt.Print(resp)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dohquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command dohsrv runs an RFC 8484 DNS-over-HTTPS server backed by a
+// caching recursive resolver. Queries under the measurement zone are
+// forwarded to the authoritative server; a self-signed certificate is
+// generated when none is supplied.
+//
+// Usage:
+//
+//	dohsrv -listen 127.0.0.1:8443 -zone a.com -upstream 127.0.0.1:5300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/dohserver"
+	"repro/internal/dot"
+	"repro/internal/recursive"
+	"repro/internal/tlsutil"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8443", "HTTPS listen address")
+	zone := flag.String("zone", "a.com", "measurement zone routed to -upstream")
+	upstream := flag.String("upstream", "127.0.0.1:5300", "authoritative server for the zone")
+	certFile := flag.String("cert", "", "TLS certificate (PEM); self-signed if empty")
+	keyFile := flag.String("key", "", "TLS key (PEM)")
+	plain := flag.Bool("plain", false, "serve plain HTTP instead of HTTPS")
+	dotListen := flag.String("dot", "", "also serve DNS-over-TLS on this address (e.g. 127.0.0.1:8853)")
+	flag.Parse()
+
+	res := recursive.New(nil)
+	res.AddZone(dnswire.NewName(*zone), &recursive.SocketUpstream{Addr: *upstream})
+	handler := dohserver.NewHandler(res)
+
+	if *dotListen != "" {
+		dotCfg, err := tlsutil.ServerConfig(*dotListen)
+		if err != nil {
+			log.Fatalf("dohsrv: DoT certificate: %v", err)
+		}
+		dotSrv := dot.NewServer(res, dotCfg)
+		if err := dotSrv.ListenAndServe(*dotListen); err != nil {
+			log.Fatalf("dohsrv: DoT listener: %v", err)
+		}
+		defer dotSrv.Close()
+		fmt.Printf("dohsrv: DoT on %s (self-signed)\n", dotSrv.Addr())
+	}
+	srv := &http.Server{
+		Addr:         *listen,
+		Handler:      handler.Mux(),
+		ReadTimeout:  15 * time.Second,
+		WriteTimeout: 15 * time.Second,
+	}
+
+	if *plain {
+		fmt.Printf("dohsrv: http://%s%s -> zone %s via %s\n", *listen, dohserver.DefaultPath, *zone, *upstream)
+		log.Fatal(srv.ListenAndServe())
+	}
+	if *certFile != "" {
+		fmt.Printf("dohsrv: https://%s%s\n", *listen, dohserver.DefaultPath)
+		log.Fatal(srv.ListenAndServeTLS(*certFile, *keyFile))
+	}
+	cfg, err := tlsutil.ServerConfig(*listen)
+	if err != nil {
+		log.Fatalf("dohsrv: generating certificate: %v", err)
+	}
+	srv.TLSConfig = cfg
+	fmt.Printf("dohsrv: https://%s%s (self-signed) -> zone %s via %s\n",
+		*listen, dohserver.DefaultPath, *zone, *upstream)
+	log.Fatal(srv.ListenAndServeTLS("", ""))
+}

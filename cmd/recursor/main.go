@@ -1,0 +1,77 @@
+// Command recursor runs a caching recursive DNS resolver over UDP —
+// the "default resolver" role in the study. It operates in one of two
+// modes: forwarding (send cache misses to a fixed upstream, like an
+// ISP resolver pointing at a farm) or iterative (walk delegations
+// from root hints, like BIND).
+//
+// Usage:
+//
+//	recursor -listen 127.0.0.1:5353 -forward 127.0.0.1:5300
+//	recursor -listen 127.0.0.1:5353 -roots 127.0.0.1:5300
+//	recursor -listen 127.0.0.1:5353 -forward 8.8.8.8:53 -zone a.com=127.0.0.1:5300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/dnswire"
+	"repro/internal/recursive"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5353", "UDP listen address")
+	forward := flag.String("forward", "", "forwarding mode: upstream resolver (host:port)")
+	roots := flag.String("roots", "", "iterative mode: comma-separated root server addresses")
+	zones := flag.String("zone", "", "comma-separated zone=addr overrides routed past the default upstream")
+	cacheSize := flag.Int("cache", 65536, "cache entries")
+	minimize := flag.Bool("minimize", false, "QNAME minimization (RFC 7816) in iterative mode")
+	flag.Parse()
+
+	if *forward == "" && *roots == "" {
+		fmt.Fprintln(os.Stderr, "recursor: need -forward or -roots")
+		os.Exit(2)
+	}
+
+	res := recursive.New(recursive.NewCache(*cacheSize, nil))
+	switch {
+	case *roots != "":
+		res.SetDefault(&recursive.Iterative{
+			Roots:          strings.Split(*roots, ","),
+			MinimizeQNames: *minimize,
+		})
+	default:
+		res.SetDefault(&recursive.SocketUpstream{Addr: *forward})
+	}
+	if *zones != "" {
+		for _, pair := range strings.Split(*zones, ",") {
+			zone, addr, ok := strings.Cut(pair, "=")
+			if !ok {
+				log.Fatalf("recursor: bad -zone entry %q (want zone=addr)", pair)
+			}
+			res.AddZone(dnswire.NewName(zone), &recursive.SocketUpstream{Addr: addr})
+		}
+	}
+
+	srv := recursive.NewServer(res)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		log.Fatalf("recursor: %v", err)
+	}
+	mode := "forwarding to " + *forward
+	if *roots != "" {
+		mode = "iterating from " + *roots
+	}
+	fmt.Printf("recursor: listening on %s, %s\n", srv.Addr(), mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	hits, misses := res.Cache().Stats()
+	fmt.Printf("recursor: cache %d hits / %d misses, shutting down\n", hits, misses)
+	srv.Close()
+}

@@ -1,0 +1,51 @@
+// Command superproxy runs the real-socket Super Proxy: an HTTP
+// CONNECT proxy that resolves targets through a configurable resolver
+// (the exit node's "default DNS") and reports the X-Luminati-style
+// timing headers the measurement methodology consumes.
+//
+// Usage:
+//
+//	superproxy -listen 127.0.0.1:24000 -resolver 127.0.0.1:5353
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/proxynet"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:24000", "CONNECT proxy listen address")
+	resolver := flag.String("resolver", "", "DNS server for target resolution (host:port); empty = IP literals only")
+	delay := flag.Duration("processing-delay", 0, "artificial proxy processing delay (exercises t_BrightData accounting)")
+	flag.Parse()
+
+	proxy := &proxynet.RealProxy{
+		ResolverAddr:    *resolver,
+		ProcessingDelay: *delay,
+	}
+	if err := proxy.ListenAndServe(*listen); err != nil {
+		log.Fatalf("superproxy: %v", err)
+	}
+	fmt.Printf("superproxy: CONNECT proxy on %s (resolver %q)\n", proxy.Addr(), *resolver)
+	fmt.Printf("superproxy: headers: %s, %s\n", proxynet.TunTimelineHeader, proxynet.TimelineHeader)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	done := make(chan struct{})
+	go func() {
+		proxy.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+	}
+}

@@ -1,0 +1,211 @@
+// Command worldstudy runs the full measurement campaign on the
+// simulated proxy network and regenerates every table and figure of
+// the paper's evaluation.
+//
+// Usage:
+//
+//	worldstudy                       # full-scale campaign (~21.5k clients)
+//	worldstudy -scale 0.25           # quarter-scale, faster
+//	worldstudy -seed 7 -only "Table 4,Figure 6"
+//	worldstudy -extensions           # + DoT, cache study, page loads, TLS 1.2, regions
+//	worldstudy -export ./release     # write dataset.csv + atlas_do53.csv
+//	worldstudy -import ./release     # analyze a published dataset
+//	worldstudy -figures ./figs       # write plottable CDF series
+//	worldstudy -timeline BR          # one measurement's 22-step breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/anycast"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/proxynet"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2021, "campaign seed (campaigns are fully reproducible)")
+	scale := flag.Float64("scale", 1.0, "client-count scale factor (1.0 reproduces the paper's ~22k clients)")
+	minClients := flag.Int("min-clients", 10, "per-country inclusion bar")
+	only := flag.String("only", "", "comma-separated artifact IDs to print (default: all)")
+	extensions := flag.Bool("extensions", false, "also run the extension experiments (DoT, cache study, page loads, TLS 1.2)")
+	export := flag.String("export", "", "directory to write the dataset release (dataset.csv, atlas_do53.csv)")
+	importDir := flag.String("import", "", "directory with a dataset release to analyze instead of running a campaign")
+	timeline := flag.String("timeline", "", "print one sample measurement's 22-step Figure-2 timeline for a country code and exit")
+	figures := flag.String("figures", "", "directory to write plottable figure series (figure*.csv)")
+	flag.Parse()
+
+	if *timeline != "" {
+		if err := printTimeline(*seed, *timeline); err != nil {
+			log.Fatalf("worldstudy: %v", err)
+		}
+		return
+	}
+
+	cfg := campaign.DefaultConfig(*seed)
+	cfg.ClientScale = *scale
+
+	start := time.Now()
+	var suite *experiments.Suite
+	var err error
+	if *importDir != "" {
+		suite, err = importSuite(cfg, *importDir, *minClients)
+	} else {
+		suite, err = experiments.NewSuite(cfg, *minClients)
+	}
+	if err != nil {
+		log.Fatalf("worldstudy: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "worldstudy: campaign done in %v: %d clients, %d analyzed countries, %d mismatches discarded\n",
+		time.Since(start).Round(time.Millisecond),
+		len(suite.Dataset.Clients),
+		len(suite.Analysis.AnalyzedCountryCodes()),
+		suite.Dataset.DiscardedMismatch)
+
+	if *figures != "" {
+		if err := suite.WriteFigureData(*figures, 0); err != nil {
+			log.Fatalf("worldstudy: figures: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "worldstudy: figure data written to %s\n", *figures)
+	}
+	if *export != "" {
+		if err := exportDataset(suite.Dataset, *export); err != nil {
+			log.Fatalf("worldstudy: export: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "worldstudy: dataset written to %s\n", *export)
+	}
+
+	reports, err := suite.All()
+	if err != nil {
+		log.Fatalf("worldstudy: %v", err)
+	}
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			wanted[id] = true
+		}
+	}
+	if *extensions {
+		ext, err := suite.AllExtensions()
+		if err != nil {
+			log.Fatalf("worldstudy: %v", err)
+		}
+		reports = append(reports, ext...)
+	}
+	for _, rep := range reports {
+		if len(wanted) > 0 && !wanted[rep.ID] {
+			continue
+		}
+		fmt.Println(rep)
+	}
+}
+
+// exportDataset writes the release files the paper publishes.
+func exportDataset(ds *campaign.Dataset, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	main, err := os.Create(filepath.Join(dir, "dataset.csv"))
+	if err != nil {
+		return err
+	}
+	defer main.Close()
+	if err := ds.WriteCSV(main); err != nil {
+		return err
+	}
+	atlas, err := os.Create(filepath.Join(dir, "atlas_do53.csv"))
+	if err != nil {
+		return err
+	}
+	defer atlas.Close()
+	return ds.WriteAtlasCSV(atlas)
+}
+
+// importSuite loads a dataset release and prepares the analyses over
+// it (Tables 1-2 still run fresh validation simulations; everything
+// else reads the imported data).
+func importSuite(cfg campaign.Config, dir string, minClients int) (*experiments.Suite, error) {
+	main, err := os.Open(filepath.Join(dir, "dataset.csv"))
+	if err != nil {
+		return nil, err
+	}
+	defer main.Close()
+	var atlas io.Reader
+	if f, err := os.Open(filepath.Join(dir, "atlas_do53.csv")); err == nil {
+		defer f.Close()
+		atlas = f
+	}
+	ds, err := campaign.ReadCSV(main, atlas)
+	if err != nil {
+		return nil, err
+	}
+	return &experiments.Suite{
+		Config:     cfg,
+		Dataset:    ds,
+		Analysis:   analysis.New(ds, minClients),
+		MinClients: minClients,
+	}, nil
+}
+
+// stepLabels names the paper's Figure-2 steps.
+var stepLabels = [23]string{
+	1:  "client -> Super Proxy (CONNECT)",
+	2:  "Super Proxy -> exit node",
+	3:  "exit -> ISP resolver (DoH hostname)",
+	4:  "ISP resolver -> exit",
+	5:  "exit -> DoH PoP (TCP SYN)",
+	6:  "DoH PoP -> exit (SYN-ACK)",
+	7:  "exit -> Super Proxy",
+	8:  "Super Proxy -> client (200 OK)",
+	9:  "client -> Super Proxy (ClientHello)",
+	10: "Super Proxy -> exit",
+	11: "exit -> DoH PoP (ClientHello)",
+	12: "DoH PoP -> exit (ServerHello, TLS 1.3)",
+	13: "exit -> Super Proxy",
+	14: "Super Proxy -> client",
+	15: "client -> Super Proxy (Finished + GET)",
+	16: "Super Proxy -> exit",
+	17: "exit -> DoH PoP (query)",
+	18: "DoH PoP -> authoritative NS",
+	19: "authoritative NS -> DoH PoP",
+	20: "DoH PoP -> exit (answer)",
+	21: "exit -> Super Proxy",
+	22: "Super Proxy -> client",
+}
+
+// printTimeline runs one DoH measurement in the given country and
+// dumps the true per-step durations next to the estimator's view.
+func printTimeline(seed int64, country string) error {
+	sim := proxynet.NewSim(seed)
+	node, err := sim.SelectExitNode(strings.ToUpper(country))
+	if err != nil {
+		return err
+	}
+	obs, gt := sim.MeasureDoH(node, anycast.Cloudflare, "timeline.a.com.")
+	fmt.Printf("exit node %s (PoP %s, %.0f km away)\n\n", node.ID, gt.PoP.ID, gt.PoPDistanceKm)
+	for i := 1; i <= 22; i++ {
+		fmt.Printf("  t%-2d %-42s %8.1f ms\n", i, stepLabels[i],
+			float64(gt.Steps[i])/float64(time.Millisecond))
+	}
+	msf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	fmt.Printf("\nclient observables: T_B-T_A=%.1f ms  T_D-T_C=%.1f ms  DNS=%.1f  Connect=%.1f  t_BD=%.1f\n",
+		msf(obs.TB-obs.TA), msf(obs.TD-obs.TC), msf(obs.Tun.DNS), msf(obs.Tun.Connect), msf(obs.Proxy.Total()))
+	est, err := core.EstimateDoH(obs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n             %10s %10s\n", "estimated", "true")
+	fmt.Printf("  t_DoH      %8.1f ms %8.1f ms   (Equation 7)\n", msf(est.TDoH), msf(gt.TDoH))
+	fmt.Printf("  t_DoHR     %8.1f ms %8.1f ms   (Equation 8)\n", msf(est.TDoHR), msf(gt.TDoHR))
+	fmt.Printf("  client RTT %8.1f ms             (Equation 6)\n", msf(est.RTT))
+	return nil
+}

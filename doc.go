@@ -1,0 +1,6 @@
+// Package repro reproduces "Measuring DNS-over-HTTPS Performance
+// Around the World" (IMC 2021): a DNS/DoH protocol stack, a simulated
+// global proxy measurement platform, the paper's timing-decomposition
+// estimator, and a benchmark harness that regenerates every table and
+// figure of the evaluation. See README.md and DESIGN.md.
+package repro

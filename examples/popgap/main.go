@@ -1,0 +1,87 @@
+// Popgap: the paper's anycast placement analysis (Figures 5, 6, 9).
+// For each DoH provider it reports the PoP fleet, how far clients
+// actually are from the PoP that serves them, how much closer the
+// nearest PoP would be ("potential improvement"), and a what-if:
+// global median DoHR if every client were routed optimally.
+//
+// Run:
+//
+//	go run ./examples/popgap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/anycast"
+	"repro/internal/campaign"
+	"repro/internal/geo"
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+func main() {
+	cat := anycast.Catalogue()
+	fmt.Println("provider fleets:")
+	for _, pid := range anycast.ProviderIDs() {
+		p := cat[pid]
+		african := 0
+		for _, code := range p.PoPCountries() {
+			if world.MustByCode(code).Region == world.Africa {
+				african++
+			}
+		}
+		fmt.Printf("  %-12s %3d PoPs in %3d countries (%2d African), %2d host ASes\n",
+			pid, len(p.PoPs), len(p.PoPCountries()), african, len(p.HostASes()))
+	}
+
+	cfg := campaign.DefaultConfig(99)
+	cfg.ClientScale = 0.5
+	ds, err := campaign.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := analysis.New(ds, 10)
+
+	fmt.Println("\nclient-to-servicing-PoP distance (miles):")
+	for _, pid := range anycast.ProviderIDs() {
+		vals := a.ClientPoPDistanceMiles()[pid]
+		p90, _ := stats.Quantile(vals, 0.9)
+		fmt.Printf("  %-12s median=%6.0f p90=%6.0f\n", pid, stats.MustMedian(vals), p90)
+	}
+
+	fmt.Println("\npotential improvement if every client used its nearest PoP (miles):")
+	imp := a.PotentialImprovementMiles()
+	for _, pid := range anycast.ProviderIDs() {
+		vals := imp[pid]
+		over1000 := 0
+		for _, v := range vals {
+			if v >= 1000 {
+				over1000++
+			}
+		}
+		fmt.Printf("  %-12s median=%6.0f  clients >=1000 mi off: %.1f%%\n",
+			pid, stats.MustMedian(vals), 100*float64(over1000)/float64(len(vals)))
+	}
+
+	// What-if: optimal routing. Recompute each row's DoHR with the
+	// exit-to-PoP leg shrunk to the nearest-PoP distance (the
+	// round-trip distance saving at fiber speed, both directions).
+	fmt.Println("\nwhat-if optimal anycast routing (median DoHR, ms):")
+	for _, pid := range anycast.ProviderIDs() {
+		var actual, optimal []float64
+		for _, r := range a.Rows() {
+			if r.Provider != pid {
+				continue
+			}
+			actual = append(actual, r.DoHRMs)
+			savedMiles := r.PotentialImprovementMiles
+			savedMs := 2 * savedMiles * geo.KmPerMile * 1.7 / 200 // RTT at fiber speed with path inflation
+			optimal = append(optimal, r.DoHRMs-savedMs)
+		}
+		fmt.Printf("  %-12s actual=%6.0f optimal=%6.0f (saves %.0f)\n",
+			pid, stats.MustMedian(actual), stats.MustMedian(optimal),
+			stats.MustMedian(actual)-stats.MustMedian(optimal))
+	}
+}

@@ -1,0 +1,83 @@
+// Validation: the paper's Section-4 ground-truth experiments. We
+// plant controlled exit nodes in six countries (the paper used EC2
+// machines volunteered into the proxy network), measure DoH through
+// the Super Proxy, and compare the Equation-7/8 estimates against the
+// true values the controlled node observes directly — then do the
+// same for Do53 (Table 2) and the Atlas-vs-proxy consistency check
+// (Section 4.4).
+//
+// Run:
+//
+//	go run ./examples/validation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/anycast"
+	"repro/internal/atlas"
+	"repro/internal/core"
+	"repro/internal/proxynet"
+	"repro/internal/stats"
+)
+
+func main() {
+	sim := proxynet.NewSim(7)
+
+	fmt.Println("Table 1 — DoH and DoHR ground truth (median of 10 runs, ms):")
+	doh, dohr, err := core.ValidateDoH(sim, anycast.Cloudflare,
+		[]string{"IE", "BR", "SE", "IT", "IN", "US"}, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-8s %9s %9s %6s | %9s %9s %6s\n",
+		"country", "DoH est", "DoH true", "diff", "DoHR est", "DoHR true", "diff")
+	for i := range doh {
+		fmt.Printf("  %-8s %9.0f %9.0f %6.1f | %9.0f %9.0f %6.1f\n",
+			doh[i].CountryCode, doh[i].EstimatedMs, doh[i].TruthMs, doh[i].DifferenceMs(),
+			dohr[i].EstimatedMs, dohr[i].TruthMs, dohr[i].DifferenceMs())
+	}
+
+	fmt.Println("\nTable 2 — Do53 ground truth (median of 10 runs, ms):")
+	do53, err := core.ValidateDo53(sim, []string{"IE", "BR", "SE", "IT"}, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range do53 {
+		fmt.Printf("  %-8s est=%6.0f true=%6.0f diff=%.1f\n",
+			r.CountryCode, r.EstimatedMs, r.TruthMs, r.DifferenceMs())
+	}
+
+	// Section 4.4: proxy network vs Atlas probes must agree in
+	// countries both can measure.
+	fmt.Println("\nSection 4.4 — proxy network vs Atlas Do53 medians (ms):")
+	at := atlas.New(8, sim.Model, sim.Lab)
+	var diffs []float64
+	for _, code := range []string{"BE", "ZA", "SE", "IT", "IR", "GR", "CH", "ES", "NO", "DK"} {
+		var proxyVals []float64
+		for i := 0; i < 25; i++ {
+			node, err := sim.SelectExitNode(code)
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, gt := sim.MeasureDo53(node, "x.a.com.")
+			proxyVals = append(proxyVals, float64(gt.TDo53)/float64(time.Millisecond))
+		}
+		proxyMed := stats.MustMedian(proxyVals)
+		atlasMed, err := at.CountryMedianDo53(code, 25, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := proxyMed - atlasMed
+		if d < 0 {
+			d = -d
+		}
+		diffs = append(diffs, d)
+		fmt.Printf("  %-4s proxy=%6.0f atlas=%6.0f diff=%5.1f\n", code, proxyMed, atlasMed, d)
+	}
+	mean, _ := stats.Mean(diffs)
+	sd, _ := stats.StdDev(diffs)
+	fmt.Printf("  mean difference %.1f ms (sd %.1f); paper reported 7.6 ms (sd 5.2)\n", mean, sd)
+}

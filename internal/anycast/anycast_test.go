@@ -1,0 +1,172 @@
+package anycast
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/world"
+)
+
+func TestCatalogueFleetSizes(t *testing.T) {
+	cat := Catalogue()
+	if n := len(cat[Cloudflare].PoPs); n != 146 {
+		t.Errorf("Cloudflare PoPs = %d, want 146", n)
+	}
+	if n := len(cat[Google].PoPs); n != 26 {
+		t.Errorf("Google PoPs = %d, want 26", n)
+	}
+	if n := len(cat[NextDNS].PoPs); n != 107 {
+		t.Errorf("NextDNS PoPs = %d, want 107", n)
+	}
+	if n := len(cat[Quad9].PoPs); n < 130 {
+		t.Errorf("Quad9 PoPs = %d, want >= 130", n)
+	}
+}
+
+func TestGoogleHasNoAfricanPoPs(t *testing.T) {
+	cat := Catalogue()
+	for _, pop := range cat[Google].PoPs {
+		ct := world.MustByCode(pop.CountryCode)
+		if ct.Region == world.Africa {
+			t.Errorf("Google PoP in Africa: %s", pop.ID)
+		}
+	}
+}
+
+func TestQuad9CoversSubSaharanAfrica(t *testing.T) {
+	cat := Catalogue()
+	count := 0
+	for _, code := range cat[Quad9].PoPCountries() {
+		if world.MustByCode(code).Region == world.Africa {
+			count++
+		}
+	}
+	if count < 20 {
+		t.Errorf("Quad9 African PoP countries = %d, want >= 20", count)
+	}
+	// Quad9 must out-cover every other provider in Africa.
+	for _, id := range []ProviderID{Cloudflare, Google, NextDNS} {
+		other := 0
+		for _, code := range cat[id].PoPCountries() {
+			if world.MustByCode(code).Region == world.Africa {
+				other++
+			}
+		}
+		if other >= count {
+			t.Errorf("%s African coverage (%d) >= Quad9 (%d)", id, other, count)
+		}
+	}
+}
+
+func TestCloudflareOnlyProviderInSenegal(t *testing.T) {
+	cat := Catalogue()
+	in := func(id ProviderID, code string) bool {
+		for _, c := range cat[id].PoPCountries() {
+			if c == code {
+				return true
+			}
+		}
+		return false
+	}
+	if !in(Cloudflare, "SN") {
+		t.Error("Cloudflare has no PoP in Senegal (paper: it is the only provider there)")
+	}
+	if in(Google, "SN") {
+		t.Error("Google has a PoP in Senegal")
+	}
+}
+
+func TestNextDNSHostASDiversity(t *testing.T) {
+	cat := Catalogue()
+	ases := cat[NextDNS].HostASes()
+	if len(ases) < 40 {
+		t.Errorf("NextDNS host ASes = %d, want >= 40 (paper: 47)", len(ases))
+	}
+	// It rides Google's and Cloudflare's networks in places.
+	found := map[string]bool{}
+	for _, as := range ases {
+		found[as] = true
+	}
+	if !found["AS15169"] || !found["AS13335"] {
+		t.Error("NextDNS does not include Google/Cloudflare host ASes")
+	}
+	// The other providers each announce from a single AS.
+	if len(cat[Cloudflare].HostASes()) != 1 {
+		t.Error("Cloudflare spans multiple ASes")
+	}
+}
+
+func TestAssignPoPZeroNoiseIsNearest(t *testing.T) {
+	cat := Catalogue()
+	p := *cat[Google]
+	p.RoutingNoiseKm = 0
+	rng := rand.New(rand.NewSource(1))
+	client := world.MustByCode("IT").Centroid
+	got := p.AssignPoP(rng, client)
+	want, _ := p.NearestPoP(client)
+	if got.ID != want.ID {
+		t.Errorf("AssignPoP = %s, nearest = %s", got.ID, want.ID)
+	}
+}
+
+func TestAssignPoPNoiseCausesDetours(t *testing.T) {
+	cat := Catalogue()
+	q := cat[Quad9]
+	cf := cat[Cloudflare]
+	rng := rand.New(rand.NewSource(7))
+	detours := func(p *Provider) (sum float64, n int) {
+		for _, ct := range world.Analyzed() {
+			used := p.AssignPoP(rng, ct.Centroid)
+			_, nearest := p.NearestPoP(ct.Centroid)
+			sum += geo.DistanceKm(ct.Centroid, used.Pos) - nearest
+			n++
+		}
+		return sum, n
+	}
+	qSum, qn := detours(q)
+	cfSum, cfn := detours(cf)
+	qAvg, cfAvg := qSum/float64(qn), cfSum/float64(cfn)
+	if qAvg <= cfAvg {
+		t.Errorf("Quad9 mean detour %.0f km <= Cloudflare %.0f km; paper says Quad9 routing is far worse", qAvg, cfAvg)
+	}
+	if qAvg < 300 {
+		t.Errorf("Quad9 mean detour %.0f km, want >= 300 (median potential improvement 769 mi)", qAvg)
+	}
+}
+
+func TestCatalogueDeterministic(t *testing.T) {
+	a := Catalogue()
+	b := Catalogue()
+	for _, id := range ProviderIDs() {
+		pa, pb := a[id], b[id]
+		if len(pa.PoPs) != len(pb.PoPs) {
+			t.Fatalf("%s fleet size differs across builds", id)
+		}
+		for i := range pa.PoPs {
+			if pa.PoPs[i] != pb.PoPs[i] {
+				t.Fatalf("%s PoP %d differs: %+v vs %+v", id, i, pa.PoPs[i], pb.PoPs[i])
+			}
+		}
+	}
+}
+
+func TestPoPPositionsValid(t *testing.T) {
+	for id, p := range Catalogue() {
+		for _, pop := range p.PoPs {
+			if !pop.Pos.Valid() {
+				t.Errorf("%s: invalid PoP position %v", id, pop.Pos)
+			}
+			if pop.CountryCode == "" || pop.ID == "" {
+				t.Errorf("%s: incomplete PoP %+v", id, pop)
+			}
+		}
+	}
+}
+
+func TestProviderIDsOrder(t *testing.T) {
+	ids := ProviderIDs()
+	if len(ids) != 4 || ids[0] != Cloudflare || ids[3] != Quad9 {
+		t.Errorf("ProviderIDs = %v", ids)
+	}
+}

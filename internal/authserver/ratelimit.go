@@ -1,0 +1,114 @@
+package authserver
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Response rate limiting (RRL): authoritative servers answering
+// spoofed UDP queries are classic DNS amplification reflectors, and a
+// measurement zone with a wildcard answering every name is an
+// especially attractive one. The limiter token-buckets responses per
+// source /24 (or /56 for IPv6), the granularity BIND's RRL uses, and
+// drops over-limit responses so the spoofed victim stops receiving
+// traffic.
+
+// RateLimiter is a per-source-prefix token bucket.
+type RateLimiter struct {
+	// Rate is the sustained responses/second allowed per prefix.
+	Rate float64
+	// Burst is the bucket depth.
+	Burst float64
+
+	mu      sync.Mutex
+	buckets map[netip.Prefix]*bucket
+	now     func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter; rate<=0 disables limiting. now
+// overrides the clock for tests (nil means time.Now).
+func NewRateLimiter(rate, burst float64, now func() time.Time) *RateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	if burst <= 0 {
+		burst = rate
+	}
+	return &RateLimiter{
+		Rate: rate, Burst: burst,
+		buckets: make(map[netip.Prefix]*bucket),
+		now:     now,
+	}
+}
+
+// sourcePrefix buckets an address at /24 (v4) or /56 (v6).
+func sourcePrefix(addr net.Addr) (netip.Prefix, bool) {
+	var ip netip.Addr
+	switch a := addr.(type) {
+	case *net.UDPAddr:
+		ip, _ = netip.AddrFromSlice(a.IP)
+	case *net.TCPAddr:
+		ip, _ = netip.AddrFromSlice(a.IP)
+	default:
+		ap, err := netip.ParseAddrPort(addr.String())
+		if err != nil {
+			return netip.Prefix{}, false
+		}
+		ip = ap.Addr()
+	}
+	ip = ip.Unmap()
+	bits := 24
+	if ip.Is6() {
+		bits = 56
+	}
+	p, err := ip.Prefix(bits)
+	if err != nil {
+		return netip.Prefix{}, false
+	}
+	return p, true
+}
+
+// Allow reports whether a response to src may be sent now.
+func (rl *RateLimiter) Allow(src net.Addr) bool {
+	if rl == nil || rl.Rate <= 0 {
+		return true
+	}
+	prefix, ok := sourcePrefix(src)
+	if !ok {
+		return true // unbucketable: fail open
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	b, ok := rl.buckets[prefix]
+	if !ok {
+		// Opportunistic cleanup keeps the table bounded under
+		// spoofed-source floods.
+		if len(rl.buckets) > 1<<16 {
+			for k, old := range rl.buckets {
+				if now.Sub(old.last) > time.Minute {
+					delete(rl.buckets, k)
+				}
+			}
+		}
+		b = &bucket{tokens: rl.Burst, last: now}
+		rl.buckets[prefix] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rl.Rate
+	if b.tokens > rl.Burst {
+		b.tokens = rl.Burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

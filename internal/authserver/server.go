@@ -1,0 +1,299 @@
+package authserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dnsclient"
+	"repro/internal/dnswire"
+)
+
+// QueryLogEntry records one query seen by the server. The paper uses
+// the set of source addresses observed at the authoritative server to
+// enumerate the recursive resolvers (and hence DoH points of presence)
+// that contact it.
+type QueryLogEntry struct {
+	Time     time.Time
+	Source   net.Addr
+	Name     dnswire.Name
+	Type     dnswire.Type
+	Protocol string // "udp" or "tcp"
+}
+
+// Server serves a Zone authoritatively over UDP and TCP.
+type Server struct {
+	Zone *Zone
+	// Logger, when set, receives one line per malformed packet.
+	Logger *log.Logger
+	// Limiter, when set, rate-limits UDP responses per source prefix
+	// (DNS amplification defense). TCP is exempt: a completed TCP
+	// handshake proves the source address.
+	Limiter *RateLimiter
+
+	mu      sync.Mutex
+	queries []QueryLogEntry
+	udp     *net.UDPConn
+	tcp     net.Listener
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewServer returns a server for zone, not yet listening.
+func NewServer(zone *Zone) *Server { return &Server{Zone: zone} }
+
+// ListenAndServe binds UDP and TCP on addr (e.g. "127.0.0.1:0") and
+// serves until Close. It returns once both listeners are accepting, so
+// callers can immediately query Addr(). With an ephemeral port, the
+// kernel picks the UDP port first and the matching TCP port may
+// already be taken; the bind retries with a fresh UDP port until both
+// line up.
+func (s *Server) ListenAndServe(addr string) error {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 16; attempt++ {
+		udp, err := net.ListenUDP("udp", uaddr)
+		if err != nil {
+			return err
+		}
+		tcp, err := net.Listen("tcp", udp.LocalAddr().String())
+		if err != nil {
+			udp.Close()
+			lastErr = err
+			if uaddr.Port != 0 {
+				return err // a fixed port cannot be retried
+			}
+			continue
+		}
+		s.udp, s.tcp = udp, tcp
+		s.wg.Add(2)
+		go s.serveUDP()
+		go s.serveTCP()
+		return nil
+	}
+	return fmt.Errorf("authserver: no UDP/TCP port pair available: %w", lastErr)
+}
+
+// Addr returns the bound address, valid after ListenAndServe.
+func (s *Server) Addr() string { return s.udp.LocalAddr().String() }
+
+// Close stops the listeners and waits for handler goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.udp != nil {
+		err = errors.Join(err, s.udp.Close())
+	}
+	if s.tcp != nil {
+		err = errors.Join(err, s.tcp.Close())
+	}
+	s.wg.Wait()
+	return err
+}
+
+// QueryLog returns a snapshot of the query log.
+func (s *Server) QueryLog() []QueryLogEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]QueryLogEntry(nil), s.queries...)
+}
+
+func (s *Server) logQuery(e QueryLogEntry) {
+	s.mu.Lock()
+	s.queries = append(s.queries, e)
+	s.mu.Unlock()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logger != nil {
+		s.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, src, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if !s.Limiter.Allow(src) {
+				s.logf("authserver: rate-limited response to %v", src)
+				return
+			}
+			resp := s.handlePacket(pkt, src, "udp")
+			if resp == nil {
+				return
+			}
+			limited, err := resp.Truncate(dnswire.MaxUDPPayload)
+			if err != nil {
+				s.logf("authserver: truncate: %v", err)
+				return
+			}
+			wire, err := limited.Pack()
+			if err != nil {
+				s.logf("authserver: pack: %v", err)
+				return
+			}
+			if _, err := s.udp.WriteToUDP(wire, src); err != nil {
+				s.logf("authserver: udp write: %v", err)
+			}
+		}()
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			return // closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			for {
+				raw, err := dnsclient.ReadTCPMessage(conn)
+				if err != nil {
+					return
+				}
+				resp := s.handlePacket(raw, conn.RemoteAddr(), "tcp")
+				if resp == nil {
+					return
+				}
+				wire, err := resp.Pack()
+				if err != nil {
+					s.logf("authserver: pack: %v", err)
+					return
+				}
+				if err := dnsclient.WriteTCPMessage(conn, wire); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// handlePacket parses a raw query and produces the response message,
+// or nil when the input is unparseable.
+func (s *Server) handlePacket(raw []byte, src net.Addr, proto string) *dnswire.Message {
+	q, err := dnswire.Unpack(raw)
+	if err != nil {
+		s.logf("authserver: bad packet from %v: %v", src, err)
+		return nil
+	}
+	if q.Header.Response || len(q.Questions) == 0 {
+		return nil
+	}
+	s.logQuery(QueryLogEntry{
+		Time: time.Now(), Source: src,
+		Name: q.Questions[0].Name, Type: q.Questions[0].Type,
+		Protocol: proto,
+	})
+	if q.Questions[0].Type == TypeAXFR {
+		// Zone transfers only travel over TCP (RFC 5936 §4.2).
+		if proto != "tcp" {
+			resp := q.Reply()
+			resp.Header.RCode = dnswire.RCodeRefused
+			return resp
+		}
+		resp, err := s.answerAXFR(q)
+		if err != nil {
+			s.logf("authserver: AXFR: %v", err)
+			resp = q.Reply()
+			resp.Header.RCode = dnswire.RCodeServFail
+		}
+		return resp
+	}
+	return s.Answer(q)
+}
+
+// Answer produces the authoritative response for query q. It is
+// exported so the virtual-network substrate can serve the same zone
+// without sockets.
+func (s *Server) Answer(q *dnswire.Message) *dnswire.Message {
+	resp := q.Reply()
+	resp.Header.Authoritative = true
+	if q.Header.Opcode != dnswire.OpcodeQuery {
+		resp.Header.RCode = dnswire.RCodeNotImp
+		return resp
+	}
+	question := q.Questions[0]
+	rrs, result := s.Zone.Lookup(question.Name, question.Type)
+	switch result {
+	case Success:
+		resp.Answers = rrs
+		// Chase in-zone CNAMEs so stub clients get the full chain.
+		resp.Answers = append(resp.Answers, s.chaseCNAME(rrs, question.Type, 0)...)
+	case Delegation:
+		// Referral: NS RRset in the authority section plus any glue
+		// addresses we know; not authoritative.
+		resp.Header.Authoritative = false
+		resp.Authorities = rrs
+		for _, rr := range rrs {
+			ns, ok := rr.Data.(dnswire.NSRecord)
+			if !ok {
+				continue
+			}
+			for _, typ := range []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA} {
+				resp.Additionals = append(resp.Additionals, s.Zone.Glue(ns.NS, typ)...)
+			}
+		}
+	case NoData:
+		if soa, ok := s.Zone.SOA(); ok {
+			resp.Authorities = append(resp.Authorities, soa)
+		}
+	case NXDomain:
+		resp.Header.RCode = dnswire.RCodeNXDomain
+		if soa, ok := s.Zone.SOA(); ok {
+			resp.Authorities = append(resp.Authorities, soa)
+		}
+	case NotInZone:
+		resp.Header.RCode = dnswire.RCodeRefused
+	}
+	return resp
+}
+
+func (s *Server) chaseCNAME(rrs []dnswire.ResourceRecord, typ dnswire.Type, depth int) []dnswire.ResourceRecord {
+	if depth > 8 || typ == dnswire.TypeCNAME {
+		return nil
+	}
+	var out []dnswire.ResourceRecord
+	for _, rr := range rrs {
+		cn, ok := rr.Data.(dnswire.CNAMERecord)
+		if !ok {
+			continue
+		}
+		next, result := s.Zone.Lookup(cn.Target, typ)
+		if result != Success {
+			continue
+		}
+		out = append(out, next...)
+		out = append(out, s.chaseCNAME(next, typ, depth+1)...)
+	}
+	return out
+}
+
+// WaitContext blocks until ctx is done, then closes the server. Handy
+// for cmd/ binaries.
+func (s *Server) WaitContext(ctx context.Context) error {
+	<-ctx.Done()
+	return s.Close()
+}

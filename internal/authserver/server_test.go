@@ -1,0 +1,325 @@
+package authserver
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dnsclient"
+	"repro/internal/dnswire"
+)
+
+func testZone(t *testing.T) *Zone {
+	t.Helper()
+	z := NewZone("a.com.")
+	if err := z.SetSOA("ns1.a.com.", "hostmaster.a.com.", 2021042901); err != nil {
+		t.Fatalf("SetSOA: %v", err)
+	}
+	add := func(rr dnswire.ResourceRecord) {
+		t.Helper()
+		if err := z.Add(rr); err != nil {
+			t.Fatalf("Add(%v): %v", rr, err)
+		}
+	}
+	add(dnswire.ResourceRecord{Name: "a.com.", TTL: 3600,
+		Data: dnswire.NSRecord{NS: "ns1.a.com."}})
+	add(dnswire.ResourceRecord{Name: "ns1.a.com.", TTL: 3600,
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("198.51.100.53")}})
+	add(dnswire.ResourceRecord{Name: "www.a.com.", TTL: 300,
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("198.51.100.80")}})
+	add(dnswire.ResourceRecord{Name: "alias.a.com.", TTL: 300,
+		Data: dnswire.CNAMERecord{Target: "www.a.com."}})
+	// The paper's wildcard: every <UUID>.a.com resolves to the web server.
+	add(dnswire.ResourceRecord{Name: "*.a.com.", TTL: 60,
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("198.51.100.80")}})
+	return z
+}
+
+func TestZoneLookupExact(t *testing.T) {
+	z := testZone(t)
+	rrs, res := z.Lookup("www.a.com.", dnswire.TypeA)
+	if res != Success || len(rrs) != 1 {
+		t.Fatalf("Lookup www = %v, %v", rrs, res)
+	}
+	if a := rrs[0].Data.(dnswire.ARecord); a.Addr != netip.MustParseAddr("198.51.100.80") {
+		t.Errorf("addr = %v", a.Addr)
+	}
+}
+
+func TestZoneLookupWildcard(t *testing.T) {
+	z := testZone(t)
+	rrs, res := z.Lookup("123e4567-e89b-12d3-a456-426614174000.a.com.", dnswire.TypeA)
+	if res != Success || len(rrs) != 1 {
+		t.Fatalf("wildcard lookup = %v, %v", rrs, res)
+	}
+	if rrs[0].Name != "123e4567-e89b-12d3-a456-426614174000.a.com." {
+		t.Errorf("owner = %v, wildcard must synthesize the query name", rrs[0].Name)
+	}
+	// Wildcard must NOT shadow an existing name.
+	rrs, res = z.Lookup("www.a.com.", dnswire.TypeTXT)
+	if res != NoData {
+		t.Errorf("existing name wrong type = %v, want NoData (not wildcard synthesis)", res)
+	}
+}
+
+func TestZoneLookupNXDomainVsNotInZone(t *testing.T) {
+	z := NewZone("a.com.")
+	if err := z.Add(dnswire.ResourceRecord{Name: "www.a.com.",
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("192.0.2.1")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, res := z.Lookup("nope.a.com.", dnswire.TypeA); res != NXDomain {
+		t.Errorf("missing name = %v, want NXDomain", res)
+	}
+	if _, res := z.Lookup("other.org.", dnswire.TypeA); res != NotInZone {
+		t.Errorf("foreign name = %v, want NotInZone", res)
+	}
+	// Empty non-terminal: adding x.y.a.com makes y.a.com exist (NoData).
+	if err := z.Add(dnswire.ResourceRecord{Name: "x.y.a.com.",
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("192.0.2.2")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, res := z.Lookup("y.a.com.", dnswire.TypeA); res != NoData {
+		t.Errorf("empty non-terminal = %v, want NoData", res)
+	}
+}
+
+func TestZoneRejectsForeignRecord(t *testing.T) {
+	z := NewZone("a.com.")
+	err := z.Add(dnswire.ResourceRecord{Name: "www.b.com.",
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("192.0.2.1")}})
+	if err == nil {
+		t.Fatal("Add accepted an out-of-zone record")
+	}
+}
+
+func TestZoneCNAMEAnswersOtherTypes(t *testing.T) {
+	z := testZone(t)
+	rrs, res := z.Lookup("alias.a.com.", dnswire.TypeA)
+	if res != Success || len(rrs) != 1 {
+		t.Fatalf("CNAME lookup = %v, %v", rrs, res)
+	}
+	if _, ok := rrs[0].Data.(dnswire.CNAMERecord); !ok {
+		t.Errorf("data = %T, want CNAMERecord", rrs[0].Data)
+	}
+}
+
+func TestServerUDPEndToEnd(t *testing.T) {
+	s := NewServer(testZone(t))
+	if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	defer s.Close()
+
+	var c dnsclient.Client
+	resp, rtt, err := c.Query(context.Background(), s.Addr(), "www.a.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if rtt <= 0 {
+		t.Errorf("rtt = %v", rtt)
+	}
+	if resp.Header.RCode != dnswire.RCodeNoError || !resp.Header.Authoritative {
+		t.Fatalf("header = %+v", resp.Header)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+}
+
+func TestServerCNAMEChainInResponse(t *testing.T) {
+	s := NewServer(testZone(t))
+	if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var c dnsclient.Client
+	resp, _, err := c.Query(context.Background(), s.Addr(), "alias.a.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(resp.Answers) != 2 {
+		t.Fatalf("answers = %v, want CNAME + A", resp.Answers)
+	}
+	if _, ok := resp.Answers[0].Data.(dnswire.CNAMERecord); !ok {
+		t.Errorf("first answer = %T", resp.Answers[0].Data)
+	}
+	if _, ok := resp.Answers[1].Data.(dnswire.ARecord); !ok {
+		t.Errorf("second answer = %T", resp.Answers[1].Data)
+	}
+}
+
+func TestServerNXDomainCarriesSOA(t *testing.T) {
+	s := NewServer(testZone(t))
+	if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var c dnsclient.Client
+	// Note: the zone has a wildcard, so use a name *above* it.
+	resp, _, err := c.Query(context.Background(), s.Addr(), "a.com.", dnswire.TypeMX)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if resp.Header.RCode != dnswire.RCodeNoError || len(resp.Answers) != 0 {
+		t.Fatalf("NoData response = %+v", resp)
+	}
+	if len(resp.Authorities) != 1 {
+		t.Fatalf("authorities = %v, want SOA", resp.Authorities)
+	}
+	if _, ok := resp.Authorities[0].Data.(dnswire.SOARecord); !ok {
+		t.Errorf("authority = %T", resp.Authorities[0].Data)
+	}
+}
+
+func TestServerTCPFallbackOnTruncation(t *testing.T) {
+	z := testZone(t)
+	// A fat TXT RRset that cannot fit in 512 bytes.
+	for i := 0; i < 10; i++ {
+		if err := z.Add(dnswire.ResourceRecord{Name: "fat.a.com.", TTL: 60,
+			Data: dnswire.TXTRecord{Strings: []string{strings.Repeat("x", 200)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewServer(z)
+	if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var c dnsclient.Client
+	resp, _, err := c.Query(context.Background(), s.Addr(), "fat.a.com.", dnswire.TypeTXT)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if resp.Header.Truncated {
+		t.Fatal("client returned the truncated UDP response instead of retrying over TCP")
+	}
+	if len(resp.Answers) != 10 {
+		t.Fatalf("answers = %d, want full 10 over TCP", len(resp.Answers))
+	}
+}
+
+func TestServerQueryLogRecordsSources(t *testing.T) {
+	s := NewServer(testZone(t))
+	if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var c dnsclient.Client
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Query(context.Background(), s.Addr(), "www.a.com.", dnswire.TypeA); err != nil {
+			t.Fatalf("Query %d: %v", i, err)
+		}
+	}
+	logEntries := s.QueryLog()
+	if len(logEntries) != 3 {
+		t.Fatalf("query log has %d entries, want 3", len(logEntries))
+	}
+	for _, e := range logEntries {
+		if e.Name != "www.a.com." || e.Protocol != "udp" || e.Source == nil {
+			t.Errorf("bad log entry: %+v", e)
+		}
+	}
+}
+
+func TestServerRefusesForeignZone(t *testing.T) {
+	s := NewServer(testZone(t))
+	if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var c dnsclient.Client
+	resp, _, err := c.Query(context.Background(), s.Addr(), "www.elsewhere.net.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if resp.Header.RCode != dnswire.RCodeRefused {
+		t.Errorf("rcode = %v, want REFUSED", resp.Header.RCode)
+	}
+}
+
+func TestServerNotImplementedOpcode(t *testing.T) {
+	s := NewServer(testZone(t))
+	q := dnswire.NewQuery(9, "www.a.com.", dnswire.TypeA)
+	q.Header.Opcode = dnswire.OpcodeUpdate
+	resp := s.Answer(q)
+	if resp.Header.RCode != dnswire.RCodeNotImp {
+		t.Errorf("rcode = %v, want NOTIMP", resp.Header.RCode)
+	}
+}
+
+func TestRateLimiterBuckets(t *testing.T) {
+	now := time.Unix(0, 0)
+	rl := NewRateLimiter(2, 4, func() time.Time { return now })
+	src := &net.UDPAddr{IP: net.IPv4(203, 0, 113, 7), Port: 4444}
+	// Burst of 4 allowed immediately.
+	for i := 0; i < 4; i++ {
+		if !rl.Allow(src) {
+			t.Fatalf("request %d denied within burst", i)
+		}
+	}
+	if rl.Allow(src) {
+		t.Fatal("request beyond burst allowed")
+	}
+	// Same /24, different host: shares the bucket (spoofing defense).
+	sibling := &net.UDPAddr{IP: net.IPv4(203, 0, 113, 99), Port: 5555}
+	if rl.Allow(sibling) {
+		t.Fatal("sibling host in the same /24 not rate-limited")
+	}
+	// A different prefix has its own bucket.
+	other := &net.UDPAddr{IP: net.IPv4(198, 51, 100, 1), Port: 1}
+	if !rl.Allow(other) {
+		t.Fatal("unrelated prefix denied")
+	}
+	// Tokens refill with time: 1 second restores 2 tokens.
+	now = now.Add(time.Second)
+	if !rl.Allow(src) || !rl.Allow(src) {
+		t.Fatal("refilled tokens not granted")
+	}
+	if rl.Allow(src) {
+		t.Fatal("over-refill allowed")
+	}
+}
+
+func TestRateLimiterDisabledAndNil(t *testing.T) {
+	src := &net.UDPAddr{IP: net.IPv4(1, 2, 3, 4)}
+	var nilRL *RateLimiter
+	if !nilRL.Allow(src) {
+		t.Fatal("nil limiter denied")
+	}
+	off := NewRateLimiter(0, 0, nil)
+	for i := 0; i < 100; i++ {
+		if !off.Allow(src) {
+			t.Fatal("disabled limiter denied")
+		}
+	}
+}
+
+func TestServerUDPRateLimited(t *testing.T) {
+	s := NewServer(testZone(t))
+	now := time.Unix(0, 0)
+	s.Limiter = NewRateLimiter(1, 2, func() time.Time { return now })
+	if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := dnsclient.Client{Timeout: 300 * time.Millisecond, Retries: 0}
+	okCount, limited := 0, 0
+	for i := 0; i < 6; i++ {
+		_, _, err := c.Query(context.Background(), s.Addr(), "www.a.com.", dnswire.TypeA)
+		if err != nil {
+			limited++
+		} else {
+			okCount++
+		}
+	}
+	if okCount != 2 {
+		t.Errorf("allowed = %d, want exactly the burst of 2", okCount)
+	}
+	if limited != 4 {
+		t.Errorf("limited = %d, want 4", limited)
+	}
+}

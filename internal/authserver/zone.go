@@ -1,0 +1,257 @@
+// Package authserver implements an authoritative DNS name server in
+// the spirit of the paper's BIND9 deployment for the a.com measurement
+// zone: a static zone store with wildcard support (so that every
+// <UUID>.a.com cache-busting subdomain resolves), serving over UDP and
+// TCP, and a query log that records which recursive resolvers contact
+// the server — the paper's mechanism for discovering DoH provider
+// points of presence.
+package authserver
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/dnswire"
+)
+
+// rrKey identifies one RRset within a zone.
+type rrKey struct {
+	name dnswire.Name
+	typ  dnswire.Type
+}
+
+// Zone is a thread-safe authoritative zone.
+type Zone struct {
+	origin dnswire.Name
+
+	mu       sync.RWMutex
+	rrsets   map[rrKey][]dnswire.ResourceRecord
+	names    map[dnswire.Name]bool // existing owner names, for NXDOMAIN vs NODATA
+	soa      dnswire.ResourceRecord
+	haveSOA  bool
+	nsNames  []dnswire.ResourceRecord
+	wildcard map[dnswire.Name][]dnswire.ResourceRecord // wildcard base name -> records
+	// delegations maps subzone cuts (NS records below the apex) to
+	// their NS RRsets; queries at or under a cut yield referrals.
+	delegations map[dnswire.Name][]dnswire.ResourceRecord
+}
+
+// NewZone creates an empty zone rooted at origin.
+func NewZone(origin dnswire.Name) *Zone {
+	return &Zone{
+		origin:      origin.Canonical(),
+		rrsets:      make(map[rrKey][]dnswire.ResourceRecord),
+		names:       make(map[dnswire.Name]bool),
+		wildcard:    make(map[dnswire.Name][]dnswire.ResourceRecord),
+		delegations: make(map[dnswire.Name][]dnswire.ResourceRecord),
+	}
+}
+
+// Origin returns the zone apex name.
+func (z *Zone) Origin() dnswire.Name { return z.origin }
+
+// Add inserts a record. Wildcard owner names ("*.a.com.") register
+// wildcard RRsets that synthesize answers for any non-existent name
+// under their base.
+func (z *Zone) Add(rr dnswire.ResourceRecord) error {
+	name := rr.Name.Canonical()
+	if rr.Data == nil {
+		return fmt.Errorf("authserver: record %s has nil data", rr.Name)
+	}
+	if rr.Type == 0 {
+		rr.Type = rr.Data.Type()
+	}
+	if rr.Class == 0 {
+		rr.Class = dnswire.ClassIN
+	}
+	labels := name.Labels()
+	isWildcard := len(labels) > 0 && labels[0] == "*"
+	base := name
+	if isWildcard {
+		base = name.Parent()
+	}
+	if !base.IsSubdomainOf(z.origin) {
+		return fmt.Errorf("authserver: %s is outside zone %s", rr.Name, z.origin)
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if isWildcard {
+		z.wildcard[base] = append(z.wildcard[base], rr)
+		return nil
+	}
+	z.rrsets[rrKey{name, rr.Type}] = append(z.rrsets[rrKey{name, rr.Type}], rr)
+	// Register the owner and all empty non-terminals up to the apex.
+	for n := name; ; n = n.Parent() {
+		z.names[n] = true
+		if n.Equal(z.origin) || n.IsRoot() {
+			break
+		}
+	}
+	if rr.Type == dnswire.TypeSOA && name.Equal(z.origin) {
+		z.soa = rr
+		z.haveSOA = true
+	}
+	if rr.Type == dnswire.TypeNS && name.Equal(z.origin) {
+		z.nsNames = append(z.nsNames, rr)
+	}
+	if rr.Type == dnswire.TypeNS && !name.Equal(z.origin) {
+		// An NS set below the apex is a zone cut: authority for the
+		// subtree is delegated to the child zone's servers.
+		z.delegations[name] = append(z.delegations[name], rr)
+	}
+	return nil
+}
+
+// SetSOA installs a standard SOA at the apex.
+func (z *Zone) SetSOA(mname, rname dnswire.Name, serial uint32) error {
+	return z.Add(dnswire.ResourceRecord{
+		Name: z.origin, Type: dnswire.TypeSOA, Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.SOARecord{
+			MName: mname, RName: rname, Serial: serial,
+			Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 60,
+		},
+	})
+}
+
+// LookupResult classifies a zone lookup.
+type LookupResult int
+
+// Lookup outcomes.
+const (
+	// Success: records found for the exact (name, type).
+	Success LookupResult = iota
+	// NoData: the name exists but has no records of the asked type.
+	NoData
+	// NXDomain: the name does not exist in the zone.
+	NXDomain
+	// NotInZone: the name is outside this zone's authority.
+	NotInZone
+	// Delegation: the name sits at or under a zone cut; the returned
+	// records are the cut's NS RRset (a referral).
+	Delegation
+)
+
+// Lookup resolves (name, typ) within the zone, applying wildcard
+// synthesis (RFC 1034 §4.3.3): a wildcard matches only names that do
+// not exist explicitly.
+func (z *Zone) Lookup(name dnswire.Name, typ dnswire.Type) ([]dnswire.ResourceRecord, LookupResult) {
+	name = name.Canonical()
+	if !name.IsSubdomainOf(z.origin) {
+		return nil, NotInZone
+	}
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+
+	// Zone cuts take precedence over everything under them (RFC 1034
+	// §4.3.2 step 3b): a query at or below a delegation point gets a
+	// referral, except an NS query at the cut itself, which is also
+	// answered from the delegation set.
+	for n := name; !n.Equal(z.origin) && !n.IsRoot(); n = n.Parent() {
+		if ns, ok := z.delegations[n]; ok {
+			return append([]dnswire.ResourceRecord(nil), ns...), Delegation
+		}
+	}
+
+	if z.names[name] {
+		if rrs := z.matchType(z.rrsets[rrKey{name, typ}], typ, name); len(rrs) > 0 {
+			return rrs, Success
+		}
+		// CNAME at the name answers any type (except when the query
+		// asked for the CNAME itself, handled above).
+		if rrs := z.rrsets[rrKey{name, dnswire.TypeCNAME}]; len(rrs) > 0 && typ != dnswire.TypeCNAME {
+			return append([]dnswire.ResourceRecord(nil), rrs...), Success
+		}
+		if typ == dnswire.TypeANY {
+			var all []dnswire.ResourceRecord
+			for k, rrs := range z.rrsets {
+				if k.name == name {
+					all = append(all, rrs...)
+				}
+			}
+			if len(all) > 0 {
+				return all, Success
+			}
+		}
+		return nil, NoData
+	}
+
+	// Wildcard synthesis: walk ancestors looking for a wildcard base.
+	for base := name.Parent(); ; base = base.Parent() {
+		if rrs, ok := z.wildcard[base]; ok {
+			return synthesize(rrs, name, typ)
+		}
+		if base.Equal(z.origin) || base.IsRoot() {
+			break
+		}
+	}
+	return nil, NXDomain
+}
+
+func (z *Zone) matchType(rrs []dnswire.ResourceRecord, typ dnswire.Type, name dnswire.Name) []dnswire.ResourceRecord {
+	if typ == dnswire.TypeANY {
+		return nil // handled by caller
+	}
+	return append([]dnswire.ResourceRecord(nil), rrs...)
+}
+
+// synthesize copies wildcard records onto the queried owner name.
+func synthesize(rrs []dnswire.ResourceRecord, name dnswire.Name, typ dnswire.Type) ([]dnswire.ResourceRecord, LookupResult) {
+	var out []dnswire.ResourceRecord
+	var cname []dnswire.ResourceRecord
+	for _, rr := range rrs {
+		rr.Name = name
+		switch {
+		case rr.Type == typ || typ == dnswire.TypeANY:
+			out = append(out, rr)
+		case rr.Type == dnswire.TypeCNAME:
+			cname = append(cname, rr)
+		}
+	}
+	if len(out) > 0 {
+		return out, Success
+	}
+	if len(cname) > 0 {
+		return cname, Success
+	}
+	return nil, NoData
+}
+
+// Glue returns address records stored at name even when the name
+// sits below a zone cut — the lookup path used to attach glue to
+// referrals (a normal Lookup would return Delegation there).
+func (z *Zone) Glue(name dnswire.Name, typ dnswire.Type) []dnswire.ResourceRecord {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return append([]dnswire.ResourceRecord(nil), z.rrsets[rrKey{name.Canonical(), typ}]...)
+}
+
+// SOA returns the apex SOA record for negative responses.
+func (z *Zone) SOA() (dnswire.ResourceRecord, bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.soa, z.haveSOA
+}
+
+// NS returns the apex NS RRset.
+func (z *Zone) NS() []dnswire.ResourceRecord {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return append([]dnswire.ResourceRecord(nil), z.nsNames...)
+}
+
+// Len reports the number of explicit (non-wildcard) RRsets.
+func (z *Zone) Len() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return len(z.rrsets)
+}
+
+// String summarizes the zone for logs.
+func (z *Zone) String() string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "zone %s: %d rrsets, %d wildcard bases", z.origin, len(z.rrsets), len(z.wildcard))
+	return sb.String()
+}

@@ -1,0 +1,310 @@
+package authserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"repro/internal/dnswire"
+)
+
+// ParseZoneFile reads a BIND-style master file (RFC 1035 §5) into a
+// Zone. It supports the subset the measurement deployment needs:
+//
+//   - $ORIGIN and $TTL directives
+//   - comments (";" to end of line)
+//   - "@" for the origin, relative and absolute owner names, and
+//     blank owners inheriting the previous record's owner
+//   - optional TTL and class fields in either order
+//   - SOA (including multi-line with parentheses), NS, A, AAAA,
+//     CNAME, PTR, MX, and TXT records (quoted strings)
+//   - wildcard owners ("*.a.com.")
+//
+// defaultOrigin seeds $ORIGIN when the file does not set one.
+func ParseZoneFile(r io.Reader, defaultOrigin dnswire.Name) (*Zone, error) {
+	p := &zoneParser{origin: defaultOrigin.Canonical(), defaultTTL: 3600}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	var pending []string // accumulates a parenthesized record
+	parens := 0
+	for sc.Scan() {
+		lineNo++
+		line := stripComment(sc.Text())
+		if strings.TrimSpace(line) == "" && parens == 0 {
+			continue
+		}
+		parens += strings.Count(line, "(") - strings.Count(line, ")")
+		if parens < 0 {
+			return nil, fmt.Errorf("authserver: zone line %d: unbalanced parentheses", lineNo)
+		}
+		pending = append(pending, line)
+		if parens > 0 {
+			continue
+		}
+		full := strings.Join(pending, " ")
+		pending = nil
+		full = strings.NewReplacer("(", " ", ")", " ").Replace(full)
+		if err := p.parseLine(full); err != nil {
+			return nil, fmt.Errorf("authserver: zone line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if parens != 0 {
+		return nil, fmt.Errorf("authserver: unterminated parentheses at end of file")
+	}
+	if p.zone == nil {
+		return nil, fmt.Errorf("authserver: zone file contained no records")
+	}
+	return p.zone, nil
+}
+
+type zoneParser struct {
+	origin     dnswire.Name
+	defaultTTL uint32
+	lastOwner  dnswire.Name
+	zone       *Zone
+}
+
+func stripComment(line string) string {
+	// Respect quotes: a ";" inside a quoted TXT string is data.
+	inQuote := false
+	for i, r := range line {
+		switch r {
+		case '"':
+			inQuote = !inQuote
+		case ';':
+			if !inQuote {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// fields splits a record line preserving quoted strings as single
+// tokens (with quotes retained so TXT handling can strip them).
+func fields(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case (r == ' ' || r == '\t') && !inQuote:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+func (p *zoneParser) parseLine(line string) error {
+	startsWithSpace := len(line) > 0 && (line[0] == ' ' || line[0] == '\t')
+	toks := fields(line)
+	if len(toks) == 0 {
+		return nil
+	}
+	switch strings.ToUpper(toks[0]) {
+	case "$ORIGIN":
+		if len(toks) != 2 {
+			return fmt.Errorf("$ORIGIN needs one argument")
+		}
+		p.origin = dnswire.NewName(toks[1]).Canonical()
+		return nil
+	case "$TTL":
+		if len(toks) != 2 {
+			return fmt.Errorf("$TTL needs one argument")
+		}
+		ttl, err := parseTTL(toks[1])
+		if err != nil {
+			return err
+		}
+		p.defaultTTL = ttl
+		return nil
+	case "$INCLUDE", "$GENERATE":
+		return fmt.Errorf("%s is not supported", strings.ToUpper(toks[0]))
+	}
+
+	if p.zone == nil {
+		if p.origin.IsRoot() {
+			return fmt.Errorf("no origin: set $ORIGIN or pass a default")
+		}
+		p.zone = NewZone(p.origin)
+	}
+
+	// Owner name: explicit unless the line starts with whitespace.
+	var owner dnswire.Name
+	if startsWithSpace {
+		if p.lastOwner == "" {
+			return fmt.Errorf("record with inherited owner before any owner")
+		}
+		owner = p.lastOwner
+	} else {
+		owner = p.absolute(toks[0])
+		toks = toks[1:]
+	}
+	p.lastOwner = owner
+
+	// Optional TTL and class, either order.
+	ttl := p.defaultTTL
+	for len(toks) > 0 {
+		up := strings.ToUpper(toks[0])
+		if up == "IN" || up == "CH" {
+			toks = toks[1:]
+			continue
+		}
+		if v, err := parseTTL(toks[0]); err == nil && !isTypeToken(up) {
+			ttl = v
+			toks = toks[1:]
+			continue
+		}
+		break
+	}
+	if len(toks) == 0 {
+		return fmt.Errorf("record for %s has no type", owner)
+	}
+	typ := strings.ToUpper(toks[0])
+	rdata := toks[1:]
+
+	rr := dnswire.ResourceRecord{Name: owner, Class: dnswire.ClassIN, TTL: ttl}
+	switch typ {
+	case "A":
+		if len(rdata) != 1 {
+			return fmt.Errorf("A record needs one address")
+		}
+		addr, err := netip.ParseAddr(rdata[0])
+		if err != nil || !addr.Is4() {
+			return fmt.Errorf("bad A address %q", rdata[0])
+		}
+		rr.Type, rr.Data = dnswire.TypeA, dnswire.ARecord{Addr: addr}
+	case "AAAA":
+		if len(rdata) != 1 {
+			return fmt.Errorf("AAAA record needs one address")
+		}
+		addr, err := netip.ParseAddr(rdata[0])
+		if err != nil || !addr.Is6() || addr.Is4In6() {
+			return fmt.Errorf("bad AAAA address %q", rdata[0])
+		}
+		rr.Type, rr.Data = dnswire.TypeAAAA, dnswire.AAAARecord{Addr: addr}
+	case "NS":
+		if len(rdata) != 1 {
+			return fmt.Errorf("NS record needs one name")
+		}
+		rr.Type, rr.Data = dnswire.TypeNS, dnswire.NSRecord{NS: p.absolute(rdata[0])}
+	case "CNAME":
+		if len(rdata) != 1 {
+			return fmt.Errorf("CNAME record needs one name")
+		}
+		rr.Type, rr.Data = dnswire.TypeCNAME, dnswire.CNAMERecord{Target: p.absolute(rdata[0])}
+	case "PTR":
+		if len(rdata) != 1 {
+			return fmt.Errorf("PTR record needs one name")
+		}
+		rr.Type, rr.Data = dnswire.TypePTR, dnswire.PTRRecord{Target: p.absolute(rdata[0])}
+	case "MX":
+		if len(rdata) != 2 {
+			return fmt.Errorf("MX record needs preference and name")
+		}
+		pref, err := strconv.ParseUint(rdata[0], 10, 16)
+		if err != nil {
+			return fmt.Errorf("bad MX preference %q", rdata[0])
+		}
+		rr.Type = dnswire.TypeMX
+		rr.Data = dnswire.MXRecord{Preference: uint16(pref), MX: p.absolute(rdata[1])}
+	case "TXT":
+		if len(rdata) == 0 {
+			return fmt.Errorf("TXT record needs at least one string")
+		}
+		var strs []string
+		for _, tok := range rdata {
+			strs = append(strs, strings.Trim(tok, `"`))
+		}
+		rr.Type, rr.Data = dnswire.TypeTXT, dnswire.TXTRecord{Strings: strs}
+	case "SOA":
+		if len(rdata) != 7 {
+			return fmt.Errorf("SOA record needs mname rname serial refresh retry expire minimum")
+		}
+		nums := make([]uint32, 5)
+		for i, tok := range rdata[2:] {
+			v, err := parseTTL(tok)
+			if err != nil {
+				return fmt.Errorf("bad SOA field %q", tok)
+			}
+			nums[i] = v
+		}
+		rr.Type = dnswire.TypeSOA
+		rr.Data = dnswire.SOARecord{
+			MName: p.absolute(rdata[0]), RName: p.absolute(rdata[1]),
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2],
+			Expire: nums[3], Minimum: nums[4],
+		}
+	default:
+		return fmt.Errorf("unsupported record type %q", typ)
+	}
+	return p.zone.Add(rr)
+}
+
+// absolute resolves a possibly-relative name against the origin.
+func (p *zoneParser) absolute(s string) dnswire.Name {
+	if s == "@" {
+		return p.origin
+	}
+	if strings.HasSuffix(s, ".") {
+		return dnswire.Name(s).Canonical()
+	}
+	return dnswire.NewName(s + "." + string(p.origin)).Canonical()
+}
+
+func isTypeToken(s string) bool {
+	switch s {
+	case "A", "AAAA", "NS", "CNAME", "PTR", "MX", "TXT", "SOA":
+		return true
+	}
+	return false
+}
+
+// parseTTL parses a TTL with optional BIND unit suffixes (s/m/h/d/w).
+func parseTTL(s string) (uint32, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty TTL")
+	}
+	mult := uint64(1)
+	last := s[len(s)-1]
+	switch last {
+	case 's', 'S':
+		s = s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 60, s[:len(s)-1]
+	case 'h', 'H':
+		mult, s = 3600, s[:len(s)-1]
+	case 'd', 'D':
+		mult, s = 86400, s[:len(s)-1]
+	case 'w', 'W':
+		mult, s = 604800, s[:len(s)-1]
+	}
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad TTL %q", s)
+	}
+	v *= mult
+	if v > 1<<31-1 {
+		return 0, fmt.Errorf("TTL %d out of range", v)
+	}
+	return uint32(v), nil
+}

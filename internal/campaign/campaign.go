@@ -1,0 +1,398 @@
+// Package campaign orchestrates the paper's measurement campaign:
+// for every country in the proxy network, it provisions exit nodes
+// (10 to 282 per country, matching BrightData availability), runs two
+// measurement runs per client — each resolving a unique cache-busting
+// subdomain via all four DoH providers plus the client's default Do53
+// resolver — applies the estimator, cross-checks country labels
+// against the geolocation service (discarding mismatches, paper:
+// 0.88%), and patches the 11 Super-Proxy countries' Do53 data with
+// Atlas probe measurements.
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/anycast"
+	"repro/internal/atlas"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/geoip"
+	"repro/internal/proxynet"
+	"repro/internal/world"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Seed makes the whole campaign reproducible.
+	Seed int64
+	// RunsPerClient is the number of measurement runs per exit node
+	// (the paper uses 2).
+	RunsPerClient int
+	// MinClients excludes countries with fewer available clients
+	// (the paper's threshold is 10).
+	MinClients int
+	// MaxClients caps per-country clients (the paper saw at most 282).
+	MaxClients int
+	// ClientScale multiplies each country's exit-node weight to set
+	// its client count; 1.0 reproduces the paper's ~22k total.
+	ClientScale float64
+	// Providers lists the DoH services to measure; nil means all four.
+	Providers []anycast.ProviderID
+	// AtlasProbes is the probe count per Super-Proxy country for the
+	// Do53 remedy.
+	AtlasProbes int
+	// Countries restricts the campaign to specific country codes;
+	// nil means every country in the world dataset.
+	Countries []string
+	// Parallel is the number of worker goroutines measuring
+	// countries concurrently. Results are identical for every value:
+	// each country's measurements derive from its own seed, so the
+	// schedule cannot leak into the data. 0 means GOMAXPROCS.
+	Parallel int
+}
+
+// DefaultConfig reproduces the paper's campaign shape: with the
+// default scale the campaign collects on the order of the paper's
+// 22,052 unique clients.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		RunsPerClient: 2,
+		MinClients:    10,
+		MaxClients:    282,
+		ClientScale:   2.7,
+		AtlasProbes:   25,
+	}
+}
+
+// DoHResult is a client's (averaged) DoH measurement for one provider.
+type DoHResult struct {
+	// TDoHMs and TDoHRMs are the estimated first-query and
+	// reused-connection resolution times (milliseconds, averaged over
+	// the client's runs).
+	TDoHMs  float64
+	TDoHRMs float64
+	// PoPID is the point of presence that served the client.
+	PoPID string
+	// PoPCountry hosts that PoP.
+	PoPCountry string
+	// PoPDistanceKm is the client-to-used-PoP geodesic distance.
+	PoPDistanceKm float64
+	// NearestPoPDistanceKm is the distance to the provider's closest
+	// PoP.
+	NearestPoPDistanceKm float64
+	// Valid reports at least one plausible measurement.
+	Valid bool
+}
+
+// PotentialImprovementKm is the paper's Figure-6 metric.
+func (r DoHResult) PotentialImprovementKm() float64 {
+	d := r.PoPDistanceKm - r.NearestPoPDistanceKm
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ClientRecord is one unique client in the dataset.
+type ClientRecord struct {
+	// ClientID is the proxy network's stable exit-node identifier.
+	ClientID string
+	// CountryCode is the validated country.
+	CountryCode string
+	// Prefix is the client's /24 (the granularity the paper stores).
+	Prefix string
+	// Pos is the client's approximate location.
+	Pos geo.Point
+	// DoH maps provider -> result.
+	DoH map[anycast.ProviderID]DoHResult
+	// Do53Ms is the default-resolver resolution time (milliseconds).
+	Do53Ms float64
+	// Do53Valid is false in the 11 Super-Proxy countries.
+	Do53Valid bool
+	// NSDistanceKm is the client-to-authoritative-server distance.
+	NSDistanceKm float64
+}
+
+// Dataset is the output of a campaign.
+type Dataset struct {
+	// Clients holds one record per kept client.
+	Clients []ClientRecord
+	// AtlasDo53Ms maps the 11 Super-Proxy countries to their Atlas
+	// Do53 medians (milliseconds).
+	AtlasDo53Ms map[string]float64
+	// DiscardedMismatch counts clients dropped because the proxy
+	// network and the geolocation service disagreed on the country.
+	DiscardedMismatch int
+	// DiscardedImplausible counts measurements dropped by the
+	// estimator's plausibility checks.
+	DiscardedImplausible int
+	// Seed echoes the campaign seed.
+	Seed int64
+}
+
+// Run executes the campaign.
+func Run(cfg Config) (*Dataset, error) {
+	if cfg.RunsPerClient <= 0 {
+		cfg.RunsPerClient = 2
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 282
+	}
+	if cfg.ClientScale <= 0 {
+		cfg.ClientScale = 1
+	}
+	providers := cfg.Providers
+	if providers == nil {
+		providers = anycast.ProviderIDs()
+	}
+
+	ds := &Dataset{AtlasDo53Ms: make(map[string]float64), Seed: cfg.Seed}
+
+	countries := cfg.Countries
+	if countries == nil {
+		for _, ct := range world.All() {
+			countries = append(countries, ct.Code)
+		}
+	}
+
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(countries) {
+		workers = len(countries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Each country is measured on its own simulator, seeded from the
+	// campaign seed and the country code. This makes the dataset a
+	// pure function of the configuration: the same records come back
+	// whether countries run serially or on N workers.
+	results := make([][]ClientRecord, len(countries))
+	discardsM := make([]int, len(countries))
+	discardsI := make([]int, len(countries))
+	errs := make([]error, len(countries))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				results[idx], discardsM[idx], discardsI[idx], errs[idx] =
+					measureCountry(cfg, countries[idx], providers)
+			}
+		}()
+	}
+	for idx := range countries {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range countries {
+		ds.Clients = append(ds.Clients, results[i]...)
+		ds.DiscardedMismatch += discardsM[i]
+		ds.DiscardedImplausible += discardsI[i]
+	}
+
+	// Remedy: Atlas Do53 medians for the Super-Proxy countries. The
+	// probe network shares the world's latency model and targets the
+	// same lab endpoint.
+	ref := proxynet.NewSim(cfg.Seed)
+	at := atlas.New(cfg.Seed+1, ref.Model, ref.Lab)
+	probes := cfg.AtlasProbes
+	if probes <= 0 {
+		probes = 25
+	}
+	for _, ct := range world.SuperProxyCountries() {
+		med, err := at.CountryMedianDo53(ct.Code, probes, 10)
+		if err != nil {
+			return nil, err
+		}
+		ds.AtlasDo53Ms[ct.Code] = med
+	}
+	return ds, nil
+}
+
+// ClientsByCountry groups kept clients per country code.
+func (ds *Dataset) ClientsByCountry() map[string][]*ClientRecord {
+	out := make(map[string][]*ClientRecord)
+	for i := range ds.Clients {
+		c := &ds.Clients[i]
+		out[c.CountryCode] = append(out[c.CountryCode], c)
+	}
+	return out
+}
+
+// AnalyzedCountries returns the country codes that clear the
+// per-country inclusion bar: at least cfg.MinClients clients with a
+// valid measurement for every provider (paper §5.1).
+func (ds *Dataset) AnalyzedCountries(minClients int, providers []anycast.ProviderID) []string {
+	if providers == nil {
+		providers = anycast.ProviderIDs()
+	}
+	var out []string
+	for code, clients := range ds.ClientsByCountry() {
+		if world.IsExcluded(code) {
+			continue
+		}
+		n := 0
+		for _, c := range clients {
+			ok := true
+			for _, pid := range providers {
+				if !c.DoH[pid].Valid {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				n++
+			}
+		}
+		if n >= minClients {
+			out = append(out, code)
+		}
+	}
+	return out
+}
+
+// CountryDo53Ms returns the country's Do53 median in milliseconds,
+// using client data where valid and the Atlas remedy in the 11
+// Super-Proxy countries. The second return is false when no data
+// exists.
+func (ds *Dataset) CountryDo53Ms(code string) (float64, bool) {
+	if med, ok := ds.AtlasDo53Ms[code]; ok {
+		return med, true
+	}
+	var vals []float64
+	for _, c := range ds.Clients {
+		if c.CountryCode == code && c.Do53Valid {
+			vals = append(vals, c.Do53Ms)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	// Simple median.
+	for i := range vals {
+		for j := i + 1; j < len(vals); j++ {
+			if vals[j] < vals[i] {
+				vals[i], vals[j] = vals[j], vals[i]
+			}
+		}
+	}
+	if len(vals)%2 == 1 {
+		return vals[len(vals)/2], true
+	}
+	return (vals[len(vals)/2-1] + vals[len(vals)/2]) / 2, true
+}
+
+// countrySeed derives a country's independent stream from the
+// campaign seed.
+func countrySeed(seed int64, code string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", seed, code)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// measureCountry provisions and measures all of one country's clients
+// on a dedicated simulator.
+func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]ClientRecord, int, int, error) {
+	ct, ok := world.ByCode(code)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("campaign: unknown country %q", code)
+	}
+	sim := proxynet.NewSim(countrySeed(cfg.Seed, code))
+	locator := geoip.NewService(sim.Alloc)
+
+	n := int(ct.ExitNodeWeight * cfg.ClientScale)
+	if n > cfg.MaxClients {
+		n = cfg.MaxClients
+	}
+	if n < 1 {
+		n = 1
+	}
+	var out []ClientRecord
+	var discardedMismatch, discardedImplausible int
+	uuidSeq := 0
+	nextName := func() string {
+		uuidSeq++
+		return fmt.Sprintf("%s-%08x-m.a.com.", code, uuidSeq)
+	}
+	for i := 0; i < n; i++ {
+		node, err := sim.SelectExitNode(code)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		// Country cross-check (paper §3.5): the proxy network's label
+		// vs the geolocation service's for the /24.
+		located, ok := locator.Locate(node.Addr)
+		if !ok || located != code {
+			discardedMismatch++
+			continue
+		}
+		rec := ClientRecord{
+			ClientID:     node.ID,
+			CountryCode:  code,
+			Prefix:       geoip.Prefix24(node.Addr).String(),
+			Pos:          node.Pos,
+			DoH:          make(map[anycast.ProviderID]DoHResult),
+			NSDistanceKm: geo.DistanceKm(node.Pos, sim.Lab.Pos),
+		}
+		for _, pid := range providers {
+			var sumDoH, sumDoHR float64
+			var got int
+			var res DoHResult
+			for run := 0; run < cfg.RunsPerClient; run++ {
+				obs, gt := sim.MeasureDoH(node, pid, nextName())
+				est, err := core.EstimateDoH(obs)
+				if err != nil {
+					discardedImplausible++
+					continue
+				}
+				sumDoH += float64(est.TDoH) / float64(time.Millisecond)
+				sumDoHR += float64(est.TDoHR) / float64(time.Millisecond)
+				got++
+				res.PoPID = gt.PoP.ID
+				res.PoPCountry = gt.PoP.CountryCode
+				res.PoPDistanceKm = gt.PoPDistanceKm
+				res.NearestPoPDistanceKm = gt.NearestPoPDistanceKm
+			}
+			if got > 0 {
+				res.TDoHMs = sumDoH / float64(got)
+				res.TDoHRMs = sumDoHR / float64(got)
+				res.Valid = true
+			}
+			rec.DoH[pid] = res
+		}
+		var sum53 float64
+		var got53 int
+		for run := 0; run < cfg.RunsPerClient; run++ {
+			obs, _ := sim.MeasureDo53(node, nextName())
+			v, err := core.EstimateDo53(obs)
+			if err != nil {
+				break // Super-Proxy country: no runs will work
+			}
+			sum53 += float64(v) / float64(time.Millisecond)
+			got53++
+		}
+		if got53 > 0 {
+			rec.Do53Ms = sum53 / float64(got53)
+			rec.Do53Valid = true
+		}
+		out = append(out, rec)
+	}
+	return out, discardedMismatch, discardedImplausible, nil
+}

@@ -1,0 +1,186 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/anycast"
+	"repro/internal/geo"
+)
+
+// The paper releases its measurement dataset; this file provides the
+// same facility: a flat CSV with one row per (client, provider)
+// measurement plus the client's Do53 value, and a side table with the
+// Atlas Do53 medians for the 11 Super-Proxy countries. ReadCSV
+// reconstructs a Dataset, so analyses can run on published data
+// without re-running a campaign.
+
+// csvHeader is the column layout of the main export.
+var csvHeader = []string{
+	"client_id", "country", "prefix24", "lat", "lon", "ns_distance_km",
+	"do53_ms", "do53_valid",
+	"provider", "tdoh_ms", "tdohr_ms",
+	"pop_id", "pop_country", "pop_distance_km", "nearest_pop_km",
+}
+
+// WriteCSV writes one row per (client, provider) measurement.
+func (ds *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	for i := range ds.Clients {
+		c := &ds.Clients[i]
+		for _, pid := range anycast.ProviderIDs() {
+			res, ok := c.DoH[pid]
+			if !ok || !res.Valid {
+				continue
+			}
+			row := []string{
+				c.ClientID, c.CountryCode, c.Prefix,
+				f(c.Pos.Lat), f(c.Pos.Lon), f(c.NSDistanceKm),
+				f(c.Do53Ms), strconv.FormatBool(c.Do53Valid),
+				string(pid), f(res.TDoHMs), f(res.TDoHRMs),
+				res.PoPID, res.PoPCountry, f(res.PoPDistanceKm), f(res.NearestPoPDistanceKm),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAtlasCSV writes the Super-Proxy-country Do53 medians.
+func (ds *Dataset) WriteAtlasCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"country", "do53_median_ms"}); err != nil {
+		return err
+	}
+	// Deterministic order.
+	var codes []string
+	for code := range ds.AtlasDo53Ms {
+		codes = append(codes, code)
+	}
+	sortStrings(codes)
+	for _, code := range codes {
+		if err := cw.Write([]string{code, strconv.FormatFloat(ds.AtlasDo53Ms[code], 'f', 4, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func sortStrings(s []string) {
+	for i := range s {
+		for j := i + 1; j < len(s); j++ {
+			if s[j] < s[i] {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+}
+
+// ReadCSV reconstructs a dataset from the main export and an optional
+// Atlas export (nil allowed).
+func ReadCSV(main io.Reader, atlas io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(main)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: reading CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("campaign: CSV has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("campaign: CSV column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	ds := &Dataset{AtlasDo53Ms: make(map[string]float64)}
+	byID := map[string]int{} // client id -> index in ds.Clients
+	lineNo := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		lineNo++
+		if err != nil {
+			return nil, fmt.Errorf("campaign: CSV line %d: %w", lineNo, err)
+		}
+		pf := func(i int) (float64, error) { return strconv.ParseFloat(row[i], 64) }
+		idx, ok := byID[row[0]]
+		if !ok {
+			lat, err1 := pf(3)
+			lon, err2 := pf(4)
+			nsDist, err3 := pf(5)
+			do53, err4 := pf(6)
+			valid, err5 := strconv.ParseBool(row[7])
+			if err := firstErr(err1, err2, err3, err4, err5); err != nil {
+				return nil, fmt.Errorf("campaign: CSV line %d: %w", lineNo, err)
+			}
+			ds.Clients = append(ds.Clients, ClientRecord{
+				ClientID: row[0], CountryCode: row[1], Prefix: row[2],
+				Pos:          geo.Point{Lat: lat, Lon: lon},
+				NSDistanceKm: nsDist,
+				Do53Ms:       do53, Do53Valid: valid,
+				DoH: make(map[anycast.ProviderID]DoHResult),
+			})
+			idx = len(ds.Clients) - 1
+			byID[row[0]] = idx
+		}
+		tdoh, err1 := pf(9)
+		tdohr, err2 := pf(10)
+		popDist, err3 := pf(13)
+		nearest, err4 := pf(14)
+		if err := firstErr(err1, err2, err3, err4); err != nil {
+			return nil, fmt.Errorf("campaign: CSV line %d: %w", lineNo, err)
+		}
+		ds.Clients[idx].DoH[anycast.ProviderID(row[8])] = DoHResult{
+			TDoHMs: tdoh, TDoHRMs: tdohr,
+			PoPID: row[11], PoPCountry: row[12],
+			PoPDistanceKm: popDist, NearestPoPDistanceKm: nearest,
+			Valid: true,
+		}
+	}
+
+	if atlas != nil {
+		ar := csv.NewReader(atlas)
+		if _, err := ar.Read(); err != nil && err != io.EOF {
+			return nil, fmt.Errorf("campaign: reading Atlas CSV header: %w", err)
+		}
+		for {
+			row, err := ar.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("campaign: Atlas CSV: %w", err)
+			}
+			if len(row) != 2 {
+				return nil, fmt.Errorf("campaign: Atlas CSV row has %d columns", len(row))
+			}
+			v, err := strconv.ParseFloat(row[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: Atlas CSV value %q: %w", row[1], err)
+			}
+			ds.AtlasDo53Ms[row[0]] = v
+		}
+	}
+	return ds, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/anycast"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, err := Run(smallConfig("BR", "IT", "US"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var main, atlas bytes.Buffer
+	if err := ds.WriteCSV(&main); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if err := ds.WriteAtlasCSV(&atlas); err != nil {
+		t.Fatalf("WriteAtlasCSV: %v", err)
+	}
+
+	got, err := ReadCSV(bytes.NewReader(main.Bytes()), bytes.NewReader(atlas.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got.Clients) != len(ds.Clients) {
+		t.Fatalf("clients = %d, want %d", len(got.Clients), len(ds.Clients))
+	}
+	for i := range ds.Clients {
+		want, have := ds.Clients[i], got.Clients[i]
+		if want.ClientID != have.ClientID || want.CountryCode != have.CountryCode ||
+			want.Prefix != have.Prefix || want.Do53Valid != have.Do53Valid {
+			t.Fatalf("client %d differs: %+v vs %+v", i, want, have)
+		}
+		if diff := want.Do53Ms - have.Do53Ms; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("client %d Do53 differs: %f vs %f", i, want.Do53Ms, have.Do53Ms)
+		}
+		for _, pid := range anycast.ProviderIDs() {
+			w, h := want.DoH[pid], have.DoH[pid]
+			if !w.Valid {
+				continue
+			}
+			if w.PoPID != h.PoPID || abs(w.TDoHMs-h.TDoHMs) > 0.001 || abs(w.TDoHRMs-h.TDoHRMs) > 0.001 {
+				t.Fatalf("client %d %s differs: %+v vs %+v", i, pid, w, h)
+			}
+		}
+	}
+	if len(got.AtlasDo53Ms) != len(ds.AtlasDo53Ms) {
+		t.Fatalf("atlas medians = %d, want %d", len(got.AtlasDo53Ms), len(ds.AtlasDo53Ms))
+	}
+	for code, v := range ds.AtlasDo53Ms {
+		if abs(got.AtlasDo53Ms[code]-v) > 0.001 {
+			t.Errorf("atlas %s = %f, want %f", code, got.AtlasDo53Ms[code], v)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestCSVHeaderValidation(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("bogus,header\n"), nil); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	shuffled := "country,client_id," + strings.Join(csvHeader[2:], ",") + "\n"
+	if _, err := ReadCSV(strings.NewReader(shuffled), nil); err == nil {
+		t.Fatal("shuffled header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader(""), nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCSVBadRows(t *testing.T) {
+	head := strings.Join(csvHeader, ",") + "\n"
+	badNum := head + "c1,BR,10.0.0.0/24,notanumber,0,0,1,true,cloudflare,1,1,p,BR,1,1\n"
+	if _, err := ReadCSV(strings.NewReader(badNum), nil); err == nil {
+		t.Fatal("non-numeric latitude accepted")
+	}
+	badBool := head + "c1,BR,10.0.0.0/24,0,0,0,1,maybe,cloudflare,1,1,p,BR,1,1\n"
+	if _, err := ReadCSV(strings.NewReader(badBool), nil); err == nil {
+		t.Fatal("bad boolean accepted")
+	}
+}
+
+func TestCSVAnalysisEquivalence(t *testing.T) {
+	// Analyses over the exported-and-reimported dataset must match
+	// analyses over the original.
+	ds, err := Run(smallConfig("BR", "IT", "ZA", "TH"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var main, atlas bytes.Buffer
+	if err := ds.WriteCSV(&main); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteAtlasCSV(&atlas); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&main, &atlas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origMed, ok1 := ds.CountryDo53Ms("BR")
+	gotMed, ok2 := got.CountryDo53Ms("BR")
+	if !ok1 || !ok2 || abs(origMed-gotMed) > 0.01 {
+		t.Errorf("BR Do53 median: %f vs %f", origMed, gotMed)
+	}
+	if len(ds.AnalyzedCountries(3, nil)) != len(got.AnalyzedCountries(3, nil)) {
+		t.Error("analyzed country sets differ after round trip")
+	}
+}

@@ -1,0 +1,245 @@
+// Package dnsclient implements a conventional DNS ("Do53") stub client
+// over UDP with automatic TCP fallback when a response arrives
+// truncated (TC bit), as resolvers have done since RFC 1035.
+package dnsclient
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// Errors returned by Exchange.
+var (
+	ErrIDMismatch = errors.New("dnsclient: response ID does not match query")
+	ErrNoQuestion = errors.New("dnsclient: query has no question")
+)
+
+// Client is a Do53 stub resolver client. The zero value is usable and
+// applies the defaults below.
+type Client struct {
+	// Timeout bounds a single UDP or TCP exchange. Default 5s.
+	Timeout time.Duration
+	// Retries is the number of additional UDP attempts after a
+	// timeout. Default 2.
+	Retries int
+	// UDPSize, when nonzero, attaches an EDNS0 OPT advertising this
+	// receive buffer size.
+	UDPSize uint16
+	// Dialer optionally overrides connection establishment; useful
+	// for tests and proxied transports.
+	Dialer interface {
+		DialContext(ctx context.Context, network, address string) (net.Conn, error)
+	}
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 5 * time.Second
+}
+
+func (c *Client) dialer() interface {
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
+} {
+	if c.Dialer != nil {
+		return c.Dialer
+	}
+	return &net.Dialer{}
+}
+
+// RandomID returns a cryptographically random query ID.
+func RandomID() uint16 {
+	var b [2]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back
+		// to a fixed value rather than panicking in a hot path.
+		return 0x2353
+	}
+	return binary.BigEndian.Uint16(b[:])
+}
+
+// Query resolves (name, type) against server addr and returns the
+// response message along with the measured exchange latency.
+func (c *Client) Query(ctx context.Context, addr string, name dnswire.Name, typ dnswire.Type) (*dnswire.Message, time.Duration, error) {
+	q := dnswire.NewQuery(RandomID(), name, typ)
+	return c.Exchange(ctx, addr, q)
+}
+
+// Exchange sends q to addr over UDP, falling back to TCP when the
+// response is truncated, and returns the final response plus total
+// elapsed time.
+func (c *Client) Exchange(ctx context.Context, addr string, q *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	if len(q.Questions) == 0 {
+		return nil, 0, ErrNoQuestion
+	}
+	if c.UDPSize > 0 && !hasOPT(q) {
+		q.Additionals = append(q.Additionals, dnswire.ResourceRecord{
+			Name: ".", Type: dnswire.TypeOPT,
+			Data: dnswire.OPTRecord{UDPSize: c.UDPSize},
+		})
+	}
+	start := time.Now()
+	resp, err := c.exchangeUDP(ctx, addr, q)
+	if err != nil {
+		return nil, time.Since(start), err
+	}
+	if resp.Header.Truncated {
+		resp, err = c.ExchangeTCP(ctx, addr, q)
+		if err != nil {
+			return nil, time.Since(start), err
+		}
+	}
+	return resp, time.Since(start), nil
+}
+
+func (c *Client) exchangeUDP(ctx context.Context, addr string, q *dnswire.Message) (*dnswire.Message, error) {
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	attempts := c.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := c.oneUDP(ctx, addr, wire, q.Header.ID)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryableUDP(err) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) oneUDP(ctx context.Context, addr string, wire []byte, id uint16) (*dnswire.Message, error) {
+	conn, err := c.dialer().DialContext(ctx, "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(c.timeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 65535)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			// Malformed datagram from some middlebox: keep waiting
+			// for the real answer until the deadline.
+			continue
+		}
+		if resp.Header.ID != id {
+			continue // stale or spoofed; RFC 5452 says ignore
+		}
+		return resp, nil
+	}
+}
+
+// ExchangeTCP performs a single DNS-over-TCP exchange (RFC 1035 §4.2.2
+// two-byte length framing).
+func (c *Client) ExchangeTCP(ctx context.Context, addr string, q *dnswire.Message) (*dnswire.Message, error) {
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	conn, err := c.dialer().DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(c.timeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := WriteTCPMessage(conn, wire); err != nil {
+		return nil, err
+	}
+	raw, err := ReadTCPMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := dnswire.Unpack(raw)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.ID != q.Header.ID {
+		return nil, ErrIDMismatch
+	}
+	return resp, nil
+}
+
+// WriteTCPMessage writes one length-prefixed DNS message.
+func WriteTCPMessage(w io.Writer, wire []byte) error {
+	if len(wire) > 0xffff {
+		return fmt.Errorf("dnsclient: message too large for TCP framing: %d", len(wire))
+	}
+	hdr := [2]byte{byte(len(wire) >> 8), byte(len(wire))}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(wire)
+	return err
+}
+
+// ReadTCPMessage reads one length-prefixed DNS message.
+func ReadTCPMessage(r io.Reader) ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0])<<8 | int(hdr[1])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func hasOPT(m *dnswire.Message) bool {
+	for _, rr := range m.Additionals {
+		if rr.Type == dnswire.TypeOPT {
+			return true
+		}
+	}
+	return false
+}
+
+// retryableUDP reports whether a UDP exchange error is worth another
+// attempt: timeouts, and connection-refused (an ICMP port-unreachable
+// can race a server that is still binding, or reflect a transient
+// middlebox state — a retry moments later regularly succeeds).
+func retryableUDP(err error) bool {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED)
+}

@@ -1,0 +1,329 @@
+package dnsclient
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// echoServer answers every UDP query with a single A record, after
+// invoking mangle (which may alter the response or drop it by
+// returning nil).
+func echoServer(t *testing.T, mangle func(q *dnswire.Message) *dnswire.Message) string {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, 65535)
+		for {
+			n, src, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			q, err := dnswire.Unpack(buf[:n])
+			if err != nil {
+				continue
+			}
+			resp := q.Reply()
+			resp.Answers = append(resp.Answers, dnswire.ResourceRecord{
+				Name: q.Questions[0].Name, Type: dnswire.TypeA,
+				Class: dnswire.ClassIN, TTL: 60,
+				Data: dnswire.ARecord{Addr: netip.MustParseAddr("192.0.2.1")},
+			})
+			if mangle != nil {
+				resp = mangle(resp)
+			}
+			if resp == nil {
+				continue
+			}
+			wire, err := resp.Pack()
+			if err != nil {
+				continue
+			}
+			conn.WriteToUDP(wire, src)
+		}
+	}()
+	return conn.LocalAddr().String()
+}
+
+func TestQueryBasic(t *testing.T) {
+	addr := echoServer(t, nil)
+	var c Client
+	resp, _, err := c.Query(context.Background(), addr, "host.example.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+}
+
+func TestQueryIgnoresMismatchedID(t *testing.T) {
+	var calls atomic.Int32
+	addr := echoServer(t, func(resp *dnswire.Message) *dnswire.Message {
+		if calls.Add(1) == 1 {
+			resp.Header.ID ^= 0xffff // first answer is spoofed
+		}
+		return resp
+	})
+	c := Client{Timeout: 500 * time.Millisecond, Retries: 2}
+	_, _, err := c.Query(context.Background(), addr, "host.example.", dnswire.TypeA)
+	// The spoofed response must be ignored; the retry then succeeds.
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if calls.Load() < 2 {
+		t.Errorf("server saw %d queries, want >= 2 (retry after spoofed reply)", calls.Load())
+	}
+}
+
+func TestQueryTimesOutAndRetries(t *testing.T) {
+	var calls atomic.Int32
+	addr := echoServer(t, func(resp *dnswire.Message) *dnswire.Message {
+		calls.Add(1)
+		return nil // drop everything
+	})
+	c := Client{Timeout: 50 * time.Millisecond, Retries: 2}
+	_, _, err := c.Query(context.Background(), addr, "host.example.", dnswire.TypeA)
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestQueryRespectsContextDeadline(t *testing.T) {
+	addr := echoServer(t, func(*dnswire.Message) *dnswire.Message { return nil })
+	c := Client{Timeout: 10 * time.Second, Retries: 0}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := c.Query(ctx, addr, "host.example.", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("Query succeeded with all packets dropped")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Query took %v, context deadline not honored", elapsed)
+	}
+}
+
+func TestExchangeNoQuestion(t *testing.T) {
+	var c Client
+	_, _, err := c.Exchange(context.Background(), "127.0.0.1:1", &dnswire.Message{})
+	if err != ErrNoQuestion {
+		t.Fatalf("err = %v, want ErrNoQuestion", err)
+	}
+}
+
+func TestEDNSAttachedWhenConfigured(t *testing.T) {
+	addr := echoServer(t, nil)
+	c := Client{UDPSize: 4096}
+	q := dnswire.NewQuery(1, "e.example.", dnswire.TypeA)
+	_, _, err := c.Exchange(context.Background(), addr, q)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	found := false
+	for _, rr := range q.Additionals {
+		if opt, ok := rr.Data.(dnswire.OPTRecord); ok && opt.UDPSize == 4096 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("query was not augmented with EDNS0 OPT")
+	}
+}
+
+func TestTCPFraming(t *testing.T) {
+	var buf bytes.Buffer
+	msg := []byte{0xde, 0xad, 0xbe, 0xef}
+	if err := WriteTCPMessage(&buf, msg); err != nil {
+		t.Fatalf("WriteTCPMessage: %v", err)
+	}
+	if buf.Len() != 6 || buf.Bytes()[0] != 0 || buf.Bytes()[1] != 4 {
+		t.Fatalf("framed = %x", buf.Bytes())
+	}
+	got, err := ReadTCPMessage(&buf)
+	if err != nil {
+		t.Fatalf("ReadTCPMessage: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %x, want %x", got, msg)
+	}
+}
+
+func TestTCPFramingRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTCPMessage(&buf, make([]byte, 0x10000)); err == nil {
+		t.Fatal("WriteTCPMessage accepted 64 KiB+ message")
+	}
+}
+
+func TestTCPFramingShortRead(t *testing.T) {
+	r := bytes.NewReader([]byte{0, 10, 1, 2, 3}) // claims 10, has 3
+	if _, err := ReadTCPMessage(r); err == nil {
+		t.Fatal("ReadTCPMessage accepted short message")
+	}
+}
+
+func TestRandomIDVaries(t *testing.T) {
+	seen := map[uint16]bool{}
+	for i := 0; i < 64; i++ {
+		seen[RandomID()] = true
+	}
+	if len(seen) < 32 {
+		t.Errorf("RandomID produced only %d distinct values in 64 draws", len(seen))
+	}
+}
+
+func TestExchangeTCPDirect(t *testing.T) {
+	// A minimal TCP DNS server with length framing.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				raw, err := ReadTCPMessage(conn)
+				if err != nil {
+					return
+				}
+				q, err := dnswire.Unpack(raw)
+				if err != nil {
+					return
+				}
+				resp := q.Reply()
+				resp.Answers = append(resp.Answers, dnswire.ResourceRecord{
+					Name: q.Questions[0].Name, Type: dnswire.TypeA,
+					Class: dnswire.ClassIN, TTL: 60,
+					Data: dnswire.ARecord{Addr: netip.MustParseAddr("192.0.2.2")},
+				})
+				wire, err := resp.Pack()
+				if err != nil {
+					return
+				}
+				WriteTCPMessage(conn, wire)
+			}()
+		}
+	}()
+
+	var c Client
+	q := dnswire.NewQuery(0x4242, "tcp.example.", dnswire.TypeA)
+	resp, err := c.ExchangeTCP(context.Background(), ln.Addr().String(), q)
+	if err != nil {
+		t.Fatalf("ExchangeTCP: %v", err)
+	}
+	if len(resp.Answers) != 1 || resp.Header.ID != 0x4242 {
+		t.Fatalf("response = %v", resp)
+	}
+}
+
+func TestExchangeTCPIDMismatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		raw, err := ReadTCPMessage(conn)
+		if err != nil {
+			return
+		}
+		q, err := dnswire.Unpack(raw)
+		if err != nil {
+			return
+		}
+		resp := q.Reply()
+		resp.Header.ID ^= 0xffff
+		wire, _ := resp.Pack()
+		WriteTCPMessage(conn, wire)
+	}()
+	var c Client
+	_, err = c.ExchangeTCP(context.Background(), ln.Addr().String(),
+		dnswire.NewQuery(7, "x.example.", dnswire.TypeA))
+	if !errors.Is(err, ErrIDMismatch) {
+		t.Fatalf("err = %v, want ErrIDMismatch", err)
+	}
+}
+
+func TestUDPIgnoresMalformedDatagram(t *testing.T) {
+	// Server sends garbage first, then the real answer.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go func() {
+		buf := make([]byte, 65535)
+		n, src, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		conn.WriteToUDP([]byte{0xde, 0xad}, src) // garbage
+		q, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			return
+		}
+		resp := q.Reply()
+		resp.Answers = append(resp.Answers, dnswire.ResourceRecord{
+			Name: q.Questions[0].Name, Type: dnswire.TypeA,
+			Class: dnswire.ClassIN, TTL: 1,
+			Data: dnswire.ARecord{Addr: netip.MustParseAddr("192.0.2.3")},
+		})
+		wire, _ := resp.Pack()
+		conn.WriteToUDP(wire, src)
+	}()
+	c := Client{Timeout: 3 * time.Second}
+	resp, _, err := c.Query(context.Background(), conn.LocalAddr().String(), "m.example.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+}
+
+func TestEDNSNotDuplicated(t *testing.T) {
+	addr := echoServer(t, nil)
+	c := Client{UDPSize: 4096}
+	q := dnswire.NewQuery(2, "dup.example.", dnswire.TypeA)
+	q.Additionals = append(q.Additionals, dnswire.ResourceRecord{
+		Name: ".", Type: dnswire.TypeOPT, Data: dnswire.OPTRecord{UDPSize: 1232},
+	})
+	if _, _, err := c.Exchange(context.Background(), addr, q); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, rr := range q.Additionals {
+		if rr.Type == dnswire.TypeOPT {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("query carries %d OPT records, want 1 (existing preserved)", count)
+	}
+}

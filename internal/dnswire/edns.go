@@ -1,0 +1,194 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// EDNS0 option support (RFC 6891 §6.1.2) and the Client Subnet option
+// (RFC 7871). ECS matters to this study twice over: DoH providers use
+// it to steer recursion toward the client's region, and the paper's
+// ethics appendix commits to never inspecting the client addresses it
+// carries — the DoH server here can scrub it for the same reason.
+
+// EDNSOption is one {code, data} pair inside an OPT record.
+type EDNSOption struct {
+	// Code identifies the option (RFC 6891 registry).
+	Code uint16
+	// Data is the option payload.
+	Data []byte
+}
+
+// OptionCodeECS is the EDNS Client Subnet option code (RFC 7871).
+const OptionCodeECS = 8
+
+// Options decodes the OPT record's RDATA into options.
+func (r OPTRecord) Options() ([]EDNSOption, error) {
+	var out []EDNSOption
+	data := r.Data
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, errors.New("dnswire: truncated EDNS option header")
+		}
+		code := binary.BigEndian.Uint16(data)
+		length := int(binary.BigEndian.Uint16(data[2:]))
+		if len(data) < 4+length {
+			return nil, errors.New("dnswire: truncated EDNS option data")
+		}
+		out = append(out, EDNSOption{
+			Code: code,
+			Data: append([]byte(nil), data[4:4+length]...),
+		})
+		data = data[4+length:]
+	}
+	return out, nil
+}
+
+// WithOptions returns a copy of the OPT record carrying the options.
+func (r OPTRecord) WithOptions(opts []EDNSOption) OPTRecord {
+	var data []byte
+	for _, opt := range opts {
+		data = binary.BigEndian.AppendUint16(data, opt.Code)
+		data = binary.BigEndian.AppendUint16(data, uint16(len(opt.Data)))
+		data = append(data, opt.Data...)
+	}
+	r.Data = data
+	return r
+}
+
+// ECS is a decoded EDNS Client Subnet option.
+type ECS struct {
+	// Prefix is the client subnet (the paper only ever handles /24s
+	// or coarser).
+	Prefix netip.Prefix
+	// Scope is the server-side scope prefix length (0 in queries).
+	Scope uint8
+}
+
+// Option encodes the ECS per RFC 7871 §6.
+func (e ECS) Option() (EDNSOption, error) {
+	addr := e.Prefix.Addr()
+	var family uint16
+	var full []byte
+	switch {
+	case addr.Is4():
+		family = 1
+		a := addr.As4()
+		full = a[:]
+	case addr.Is6():
+		family = 2
+		a := addr.As16()
+		full = a[:]
+	default:
+		return EDNSOption{}, errors.New("dnswire: ECS with invalid address")
+	}
+	bits := e.Prefix.Bits()
+	if bits < 0 {
+		return EDNSOption{}, errors.New("dnswire: ECS with invalid prefix")
+	}
+	nbytes := (bits + 7) / 8
+	data := make([]byte, 0, 4+nbytes)
+	data = binary.BigEndian.AppendUint16(data, family)
+	data = append(data, uint8(bits), e.Scope)
+	data = append(data, full[:nbytes]...)
+	return EDNSOption{Code: OptionCodeECS, Data: data}, nil
+}
+
+// ParseECS decodes a Client Subnet option.
+func ParseECS(opt EDNSOption) (ECS, error) {
+	if opt.Code != OptionCodeECS {
+		return ECS{}, fmt.Errorf("dnswire: option code %d is not ECS", opt.Code)
+	}
+	if len(opt.Data) < 4 {
+		return ECS{}, errors.New("dnswire: truncated ECS option")
+	}
+	family := binary.BigEndian.Uint16(opt.Data)
+	srcBits := int(opt.Data[2])
+	scope := opt.Data[3]
+	payload := opt.Data[4:]
+	var addrLen int
+	switch family {
+	case 1:
+		addrLen = 4
+	case 2:
+		addrLen = 16
+	default:
+		return ECS{}, fmt.Errorf("dnswire: ECS family %d unsupported", family)
+	}
+	if srcBits > addrLen*8 {
+		return ECS{}, fmt.Errorf("dnswire: ECS prefix /%d too long for family %d", srcBits, family)
+	}
+	need := (srcBits + 7) / 8
+	if len(payload) < need {
+		return ECS{}, errors.New("dnswire: ECS address shorter than prefix length")
+	}
+	full := make([]byte, addrLen)
+	copy(full, payload[:need])
+	var addr netip.Addr
+	if family == 1 {
+		addr = netip.AddrFrom4([4]byte(full))
+	} else {
+		addr = netip.AddrFrom16([16]byte(full))
+	}
+	prefix, err := addr.Prefix(srcBits)
+	if err != nil {
+		return ECS{}, err
+	}
+	return ECS{Prefix: prefix, Scope: scope}, nil
+}
+
+// FindECS locates and decodes the ECS option in a message's OPT
+// record; ok is false when the message has no ECS.
+func FindECS(m *Message) (ECS, bool, error) {
+	for _, rr := range m.Additionals {
+		opt, isOpt := rr.Data.(OPTRecord)
+		if !isOpt {
+			continue
+		}
+		opts, err := opt.Options()
+		if err != nil {
+			return ECS{}, false, err
+		}
+		for _, o := range opts {
+			if o.Code == OptionCodeECS {
+				ecs, err := ParseECS(o)
+				if err != nil {
+					return ECS{}, false, err
+				}
+				return ecs, true, nil
+			}
+		}
+	}
+	return ECS{}, false, nil
+}
+
+// StripECS removes any ECS option from the message's OPT record in
+// place, returning whether one was removed — the privacy scrub the
+// paper's ethics appendix describes.
+func StripECS(m *Message) (bool, error) {
+	stripped := false
+	for i, rr := range m.Additionals {
+		opt, isOpt := rr.Data.(OPTRecord)
+		if !isOpt {
+			continue
+		}
+		opts, err := opt.Options()
+		if err != nil {
+			return false, err
+		}
+		var kept []EDNSOption
+		for _, o := range opts {
+			if o.Code == OptionCodeECS {
+				stripped = true
+				continue
+			}
+			kept = append(kept, o)
+		}
+		if stripped {
+			m.Additionals[i].Data = opt.WithOptions(kept)
+		}
+	}
+	return stripped, nil
+}

@@ -1,0 +1,160 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestECSOptionRoundTrip(t *testing.T) {
+	ecs := ECS{Prefix: netip.MustParsePrefix("203.0.113.0/24")}
+	opt, err := ecs.Option()
+	if err != nil {
+		t.Fatalf("Option: %v", err)
+	}
+	if opt.Code != OptionCodeECS {
+		t.Errorf("code = %d", opt.Code)
+	}
+	got, err := ParseECS(opt)
+	if err != nil {
+		t.Fatalf("ParseECS: %v", err)
+	}
+	if got.Prefix != ecs.Prefix || got.Scope != 0 {
+		t.Errorf("round trip = %+v, want %+v", got, ecs)
+	}
+}
+
+func TestECSIPv6(t *testing.T) {
+	ecs := ECS{Prefix: netip.MustParsePrefix("2001:db8:abcd::/48"), Scope: 56}
+	opt, err := ecs.Option()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseECS(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Prefix != ecs.Prefix || got.Scope != 56 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestECSTruncatedAddressEncoding(t *testing.T) {
+	// RFC 7871: only (bits+7)/8 address bytes travel on the wire.
+	ecs := ECS{Prefix: netip.MustParsePrefix("10.42.0.0/16")}
+	opt, err := ecs.Option()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// family(2) + prefixlen(1) + scope(1) + 2 address bytes.
+	if len(opt.Data) != 6 {
+		t.Errorf("ECS /16 option is %d bytes, want 6", len(opt.Data))
+	}
+}
+
+func TestParseECSErrors(t *testing.T) {
+	cases := []EDNSOption{
+		{Code: 99, Data: []byte{0, 1, 24, 0, 1, 2, 3}},      // wrong code
+		{Code: OptionCodeECS, Data: []byte{0, 1}},           // truncated header
+		{Code: OptionCodeECS, Data: []byte{0, 3, 24, 0}},    // unknown family
+		{Code: OptionCodeECS, Data: []byte{0, 1, 48, 0}},    // prefix too long for v4
+		{Code: OptionCodeECS, Data: []byte{0, 1, 24, 0, 1}}, // address shorter than /24
+	}
+	for i, opt := range cases {
+		if _, err := ParseECS(opt); err == nil {
+			t.Errorf("case %d: ParseECS succeeded", i)
+		}
+	}
+}
+
+func TestOPTOptionsRoundTripInMessage(t *testing.T) {
+	ecs := ECS{Prefix: netip.MustParsePrefix("198.51.100.0/24")}
+	opt, err := ecs.Option()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(9, "e.a.com.", TypeA)
+	q.Additionals = append(q.Additionals, ResourceRecord{
+		Name: ".", Type: TypeOPT,
+		Data: OPTRecord{UDPSize: 4096}.WithOptions([]EDNSOption{
+			{Code: 10, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}, // COOKIE
+			opt,
+		}),
+	})
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, ok, err := FindECS(got)
+	if err != nil || !ok {
+		t.Fatalf("FindECS = %v, %v", ok, err)
+	}
+	if found.Prefix != ecs.Prefix {
+		t.Errorf("ECS = %+v", found)
+	}
+	// Other options survive untouched.
+	optRR := got.Additionals[0].Data.(OPTRecord)
+	opts, err := optRR.Options()
+	if err != nil || len(opts) != 2 {
+		t.Fatalf("options = %v, %v", opts, err)
+	}
+}
+
+func TestStripECS(t *testing.T) {
+	ecs := ECS{Prefix: netip.MustParsePrefix("198.51.100.0/24")}
+	opt, err := ecs.Option()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(9, "e.a.com.", TypeA)
+	q.Additionals = append(q.Additionals, ResourceRecord{
+		Name: ".", Type: TypeOPT,
+		Data: OPTRecord{UDPSize: 4096}.WithOptions([]EDNSOption{
+			opt,
+			{Code: 10, Data: []byte{9, 9}},
+		}),
+	})
+	stripped, err := StripECS(q)
+	if err != nil || !stripped {
+		t.Fatalf("StripECS = %v, %v", stripped, err)
+	}
+	if _, ok, _ := FindECS(q); ok {
+		t.Fatal("ECS still present after strip")
+	}
+	// The cookie option survives.
+	opts, err := q.Additionals[0].Data.(OPTRecord).Options()
+	if err != nil || len(opts) != 1 || opts[0].Code != 10 {
+		t.Fatalf("surviving options = %v, %v", opts, err)
+	}
+	// Idempotent.
+	stripped, err = StripECS(q)
+	if err != nil || stripped {
+		t.Fatalf("second StripECS = %v, %v", stripped, err)
+	}
+}
+
+func TestStripECSNoOPT(t *testing.T) {
+	q := NewQuery(1, "x.a.com.", TypeA)
+	stripped, err := StripECS(q)
+	if err != nil || stripped {
+		t.Fatalf("StripECS on plain query = %v, %v", stripped, err)
+	}
+}
+
+func TestOptionsDecodeGarbage(t *testing.T) {
+	bad := OPTRecord{Data: []byte{0, 8, 0, 200, 1}} // claims 200 bytes
+	if _, err := bad.Options(); err == nil {
+		t.Fatal("truncated option accepted")
+	}
+	f := func(data []byte) bool {
+		_, _ = OPTRecord{Data: data}.Options() // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package dnswire_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/dnswire"
+)
+
+// ExampleMessage_Pack builds a query, encodes it to wire format, and
+// decodes it back.
+func ExampleMessage_Pack() {
+	q := dnswire.NewQuery(42, "www.example.com", dnswire.TypeA)
+	wire, err := q.Pack()
+	if err != nil {
+		panic(err)
+	}
+	m, err := dnswire.Unpack(wire)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Questions[0])
+	// Output: www.example.com. IN A
+}
+
+// ExampleMessage_Reply shows answering a query authoritatively.
+func ExampleMessage_Reply() {
+	q := dnswire.NewQuery(7, "svc.a.com", dnswire.TypeA)
+	resp := q.Reply()
+	resp.Header.Authoritative = true
+	resp.Answers = append(resp.Answers, dnswire.ResourceRecord{
+		Name: "svc.a.com.", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60,
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("198.51.100.80")},
+	})
+	fmt.Println(resp.Answers[0])
+	// Output: svc.a.com. 60 IN A 198.51.100.80
+}
+
+// ExampleECS encodes and decodes an EDNS Client Subnet option.
+func ExampleECS() {
+	ecs := dnswire.ECS{Prefix: netip.MustParsePrefix("203.0.113.0/24")}
+	opt, err := ecs.Option()
+	if err != nil {
+		panic(err)
+	}
+	back, err := dnswire.ParseECS(opt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(back.Prefix)
+	// Output: 203.0.113.0/24
+}
+
+// ExampleName_IsSubdomainOf demonstrates label-aligned suffix
+// matching.
+func ExampleName_IsSubdomainOf() {
+	fmt.Println(dnswire.Name("a.b.example.com.").IsSubdomainOf("example.com."))
+	fmt.Println(dnswire.Name("notexample.com.").IsSubdomainOf("example.com."))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,53 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnpack drives the wire decoder with arbitrary bytes: it must
+// never panic, and anything it accepts must survive a re-pack /
+// re-unpack cycle with the same header and section sizes.
+func FuzzUnpack(f *testing.F) {
+	seed := func(m *Message) {
+		if wire, err := m.Pack(); err == nil {
+			f.Add(wire)
+		}
+	}
+	seed(NewQuery(1, "example.com.", TypeA))
+	resp := NewQuery(2, "svc.a.com.", TypeANY).Reply()
+	resp.Answers = append(resp.Answers, ResourceRecord{
+		Name: "svc.a.com.", Type: TypeTXT, Class: ClassIN, TTL: 60,
+		Data: TXTRecord{Strings: []string{"seed"}},
+	})
+	seed(resp)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xc0}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			// Some decodable messages are not re-encodable (e.g.
+			// names that exceeded limits via compression); that is
+			// acceptable as long as decoding did not panic.
+			return
+		}
+		m2, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("re-unpack failed: %v", err)
+		}
+		if m2.Header.ID != m.Header.ID || m2.Header.Opcode != m.Header.Opcode {
+			t.Fatalf("header drifted: %+v vs %+v", m.Header, m2.Header)
+		}
+		if len(m2.Questions) != len(m.Questions) ||
+			len(m2.Answers) != len(m.Answers) ||
+			len(m2.Authorities) != len(m.Authorities) ||
+			len(m2.Additionals) != len(m.Additionals) {
+			t.Fatalf("section sizes drifted")
+		}
+	})
+}

@@ -1,0 +1,277 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errTruncated = errors.New("dnswire: message truncated")
+
+// MaxUDPPayload is the classic 512-byte UDP message limit; responses
+// that would exceed the client's advertised limit set TC and truncate.
+const MaxUDPPayload = 512
+
+// ResourceRecord is a decoded resource record from any of the answer,
+// authority, or additional sections.
+type ResourceRecord struct {
+	Name  Name
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+func (rr ResourceRecord) String() string {
+	return fmt.Sprintf("%s %d %s %s %s", rr.Name, rr.TTL, rr.Class, rr.Type, rr.Data)
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header      Header
+	Questions   []Question
+	Answers     []ResourceRecord
+	Authorities []ResourceRecord
+	Additionals []ResourceRecord
+}
+
+// NewQuery builds a recursive query for (name, type) with the given ID.
+func NewQuery(id uint16, name Name, typ Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, Opcode: OpcodeQuery, RecursionDesired: true},
+		Questions: []Question{{Name: NewName(string(name)), Type: typ, Class: ClassIN}},
+	}
+}
+
+// Reply builds a response skeleton mirroring the query's ID, question,
+// and RD flag.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		Header: Header{
+			ID:               m.Header.ID,
+			Response:         true,
+			Opcode:           m.Header.Opcode,
+			RecursionDesired: m.Header.RecursionDesired,
+		},
+	}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+// Pack encodes the message into wire format with name compression.
+func (m *Message) Pack() ([]byte, error) {
+	if len(m.Questions) > 0xffff || len(m.Answers) > 0xffff ||
+		len(m.Authorities) > 0xffff || len(m.Additionals) > 0xffff {
+		return nil, errors.New("dnswire: section too large")
+	}
+	b := make([]byte, 0, 128)
+	b = binary.BigEndian.AppendUint16(b, m.Header.ID)
+	b = binary.BigEndian.AppendUint16(b, m.Header.flags())
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Questions)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Answers)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Authorities)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Additionals)))
+
+	compress := make(map[string]int)
+	var err error
+	for _, q := range m.Questions {
+		if b, err = packName(b, q.Name, compress); err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(q.Type))
+		b = binary.BigEndian.AppendUint16(b, uint16(q.Class))
+	}
+	for _, sec := range [][]ResourceRecord{m.Answers, m.Authorities, m.Additionals} {
+		for _, rr := range sec {
+			if b, err = packRR(b, rr, compress); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+func packRR(b []byte, rr ResourceRecord, compress map[string]int) ([]byte, error) {
+	if rr.Data == nil {
+		return nil, errors.New("dnswire: resource record with nil data")
+	}
+	b, err := packName(b, rr.Name, compress)
+	if err != nil {
+		return nil, err
+	}
+	typ := rr.Type
+	if typ == 0 {
+		typ = rr.Data.Type()
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(typ))
+	class := rr.Class
+	ttl := rr.TTL
+	if opt, ok := rr.Data.(OPTRecord); ok {
+		// For OPT the class field carries the UDP payload size.
+		class = Class(opt.UDPSize)
+		if class == 0 {
+			class = Class(MaxUDPPayload)
+		}
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(class))
+	b = binary.BigEndian.AppendUint32(b, ttl)
+	lenAt := len(b)
+	b = binary.BigEndian.AppendUint16(b, 0) // placeholder RDLENGTH
+	b, err = rr.Data.pack(b, compress)
+	if err != nil {
+		return nil, err
+	}
+	rdlen := len(b) - lenAt - 2
+	if rdlen > 0xffff {
+		return nil, errors.New("dnswire: RDATA too large")
+	}
+	binary.BigEndian.PutUint16(b[lenAt:], uint16(rdlen))
+	return b, nil
+}
+
+// Unpack decodes a complete wire-format message.
+func Unpack(msg []byte) (*Message, error) {
+	if len(msg) < 12 {
+		return nil, errTruncated
+	}
+	m := &Message{Header: headerFromFlags(binary.BigEndian.Uint16(msg[2:]))}
+	m.Header.ID = binary.BigEndian.Uint16(msg[0:])
+	qd := int(binary.BigEndian.Uint16(msg[4:]))
+	an := int(binary.BigEndian.Uint16(msg[6:]))
+	ns := int(binary.BigEndian.Uint16(msg[8:]))
+	ar := int(binary.BigEndian.Uint16(msg[10:]))
+
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if off+4 > len(msg) {
+			return nil, errTruncated
+		}
+		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	for _, dst := range []*[]ResourceRecord{&m.Answers, &m.Authorities, &m.Additionals} {
+		n := an
+		switch dst {
+		case &m.Authorities:
+			n = ns
+		case &m.Additionals:
+			n = ar
+		}
+		for i := 0; i < n; i++ {
+			var rr ResourceRecord
+			rr, off, err = unpackRR(msg, off)
+			if err != nil {
+				return nil, err
+			}
+			*dst = append(*dst, rr)
+		}
+	}
+	return m, nil
+}
+
+func unpackRR(msg []byte, off int) (ResourceRecord, int, error) {
+	var rr ResourceRecord
+	var err error
+	rr.Name, off, err = unpackName(msg, off)
+	if err != nil {
+		return rr, 0, err
+	}
+	if off+10 > len(msg) {
+		return rr, 0, errTruncated
+	}
+	rr.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+	rr.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+	rr.TTL = binary.BigEndian.Uint32(msg[off+4:])
+	rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+	off += 10
+	rr.Data, err = unpackRData(msg, off, rdlen, rr.Type)
+	if err != nil {
+		return rr, 0, err
+	}
+	if opt, ok := rr.Data.(OPTRecord); ok {
+		opt.UDPSize = uint16(rr.Class)
+		rr.Data = opt
+	}
+	return rr, off + rdlen, nil
+}
+
+// Truncate returns a copy of m that fits within size bytes when
+// packed, dropping whole records from the tail and setting TC when
+// anything was dropped. It is used by UDP responders.
+func (m *Message) Truncate(size int) (*Message, error) {
+	b, err := m.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) <= size {
+		return m, nil
+	}
+	out := *m
+	out.Answers = append([]ResourceRecord(nil), m.Answers...)
+	out.Authorities = append([]ResourceRecord(nil), m.Authorities...)
+	out.Additionals = append([]ResourceRecord(nil), m.Additionals...)
+	for len(out.Additionals)+len(out.Authorities)+len(out.Answers) > 0 {
+		switch {
+		case len(out.Additionals) > 0:
+			out.Additionals = out.Additionals[:len(out.Additionals)-1]
+		case len(out.Authorities) > 0:
+			out.Authorities = out.Authorities[:len(out.Authorities)-1]
+		default:
+			out.Answers = out.Answers[:len(out.Answers)-1]
+		}
+		out.Header.Truncated = true
+		b, err = out.Pack()
+		if err != nil {
+			return nil, err
+		}
+		if len(b) <= size {
+			return &out, nil
+		}
+	}
+	out.Header.Truncated = true
+	return &out, nil
+}
+
+// String renders a dig-like summary, useful in logs and examples.
+func (m *Message) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ";; opcode: %s, status: %s, id: %d\n",
+		m.Header.Opcode, m.Header.RCode, m.Header.ID)
+	fmt.Fprintf(&sb, ";; flags:")
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{m.Header.Response, "qr"}, {m.Header.Authoritative, "aa"},
+		{m.Header.Truncated, "tc"}, {m.Header.RecursionDesired, "rd"},
+		{m.Header.RecursionAvailable, "ra"},
+	} {
+		if f.on {
+			sb.WriteString(" " + f.name)
+		}
+	}
+	fmt.Fprintf(&sb, "; QUERY: %d, ANSWER: %d, AUTHORITY: %d, ADDITIONAL: %d\n",
+		len(m.Questions), len(m.Answers), len(m.Authorities), len(m.Additionals))
+	for _, q := range m.Questions {
+		fmt.Fprintf(&sb, ";%s\n", q)
+	}
+	for _, rr := range m.Answers {
+		fmt.Fprintf(&sb, "%s\n", rr)
+	}
+	for _, rr := range m.Authorities {
+		fmt.Fprintf(&sb, "%s\n", rr)
+	}
+	for _, rr := range m.Additionals {
+		fmt.Fprintf(&sb, "%s\n", rr)
+	}
+	return sb.String()
+}

@@ -1,0 +1,374 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustPack(t *testing.T, m *Message) []byte {
+	t.Helper()
+	b, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	return b
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "example.com", TypeA)
+	b := mustPack(t, q)
+	got, err := Unpack(b)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if got.Header.ID != 0x1234 {
+		t.Errorf("ID = %#x, want 0x1234", got.Header.ID)
+	}
+	if got.Header.Response {
+		t.Error("query unpacked with QR set")
+	}
+	if !got.Header.RecursionDesired {
+		t.Error("RD not set")
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("Questions = %d, want 1", len(got.Questions))
+	}
+	if got.Questions[0].Name != "example.com." {
+		t.Errorf("Name = %q, want example.com.", got.Questions[0].Name)
+	}
+	if got.Questions[0].Type != TypeA || got.Questions[0].Class != ClassIN {
+		t.Errorf("Type/Class = %v/%v", got.Questions[0].Type, got.Questions[0].Class)
+	}
+}
+
+func TestResponseRoundTripAllTypes(t *testing.T) {
+	m := NewQuery(7, "svc.a.com", TypeANY).Reply()
+	m.Header.Authoritative = true
+	m.Header.RecursionAvailable = true
+	m.Answers = []ResourceRecord{
+		{Name: "svc.a.com.", Type: TypeA, Class: ClassIN, TTL: 60,
+			Data: ARecord{Addr: netip.MustParseAddr("192.0.2.1")}},
+		{Name: "svc.a.com.", Type: TypeAAAA, Class: ClassIN, TTL: 60,
+			Data: AAAARecord{Addr: netip.MustParseAddr("2001:db8::1")}},
+		{Name: "svc.a.com.", Type: TypeCNAME, Class: ClassIN, TTL: 60,
+			Data: CNAMERecord{Target: "alias.a.com."}},
+		{Name: "svc.a.com.", Type: TypeTXT, Class: ClassIN, TTL: 30,
+			Data: TXTRecord{Strings: []string{"v=probe", "run=2"}}},
+		{Name: "svc.a.com.", Type: TypeMX, Class: ClassIN, TTL: 300,
+			Data: MXRecord{Preference: 10, MX: "mail.a.com."}},
+	}
+	m.Authorities = []ResourceRecord{
+		{Name: "a.com.", Type: TypeNS, Class: ClassIN, TTL: 3600,
+			Data: NSRecord{NS: "ns1.a.com."}},
+		{Name: "a.com.", Type: TypeSOA, Class: ClassIN, TTL: 3600,
+			Data: SOARecord{MName: "ns1.a.com.", RName: "hostmaster.a.com.",
+				Serial: 2021050401, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 60}},
+	}
+	m.Additionals = []ResourceRecord{
+		{Name: "ns1.a.com.", Type: TypeA, Class: ClassIN, TTL: 3600,
+			Data: ARecord{Addr: netip.MustParseAddr("198.51.100.53")}},
+	}
+	b := mustPack(t, m)
+	got, err := Unpack(b)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if len(got.Answers) != 5 || len(got.Authorities) != 2 || len(got.Additionals) != 1 {
+		t.Fatalf("section sizes = %d/%d/%d", len(got.Answers), len(got.Authorities), len(got.Additionals))
+	}
+	if a, ok := got.Answers[0].Data.(ARecord); !ok || a.Addr != netip.MustParseAddr("192.0.2.1") {
+		t.Errorf("A = %v", got.Answers[0].Data)
+	}
+	if a, ok := got.Answers[1].Data.(AAAARecord); !ok || a.Addr != netip.MustParseAddr("2001:db8::1") {
+		t.Errorf("AAAA = %v", got.Answers[1].Data)
+	}
+	if c, ok := got.Answers[2].Data.(CNAMERecord); !ok || c.Target != "alias.a.com." {
+		t.Errorf("CNAME = %v", got.Answers[2].Data)
+	}
+	txt, ok := got.Answers[3].Data.(TXTRecord)
+	if !ok || len(txt.Strings) != 2 || txt.Strings[0] != "v=probe" || txt.Strings[1] != "run=2" {
+		t.Errorf("TXT = %v", got.Answers[3].Data)
+	}
+	if mx, ok := got.Answers[4].Data.(MXRecord); !ok || mx.Preference != 10 || mx.MX != "mail.a.com." {
+		t.Errorf("MX = %v", got.Answers[4].Data)
+	}
+	soa, ok := got.Authorities[1].Data.(SOARecord)
+	if !ok || soa.Serial != 2021050401 || soa.Minimum != 60 {
+		t.Errorf("SOA = %v", got.Authorities[1].Data)
+	}
+}
+
+func TestNameCompressionShrinksMessage(t *testing.T) {
+	m := NewQuery(1, "a.verylongzonename-for-compression.example", TypeA).Reply()
+	for i := 0; i < 4; i++ {
+		m.Answers = append(m.Answers, ResourceRecord{
+			Name: "a.verylongzonename-for-compression.example.", Type: TypeNS,
+			Class: ClassIN, TTL: 60,
+			Data: NSRecord{NS: "ns.verylongzonename-for-compression.example."},
+		})
+	}
+	b := mustPack(t, m)
+	// Without compression the name is ~44 bytes and appears 9 times.
+	if len(b) > 200 {
+		t.Errorf("compressed message is %d bytes, expected < 200", len(b))
+	}
+	got, err := Unpack(b)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if got.Answers[3].Name != "a.verylongzonename-for-compression.example." {
+		t.Errorf("decompressed name = %q", got.Answers[3].Name)
+	}
+	if ns := got.Answers[3].Data.(NSRecord).NS; ns != "ns.verylongzonename-for-compression.example." {
+		t.Errorf("decompressed NS target = %q", ns)
+	}
+}
+
+func TestCompressionCaseInsensitive(t *testing.T) {
+	m := NewQuery(1, "WWW.Example.COM", TypeA).Reply()
+	m.Answers = append(m.Answers, ResourceRecord{
+		Name: "www.example.com.", Type: TypeA, Class: ClassIN, TTL: 1,
+		Data: ARecord{Addr: netip.MustParseAddr("192.0.2.9")},
+	})
+	b := mustPack(t, m)
+	got, err := Unpack(b)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if !got.Answers[0].Name.Equal(got.Questions[0].Name) {
+		t.Errorf("names differ: %q vs %q", got.Answers[0].Name, got.Questions[0].Name)
+	}
+}
+
+func TestUnpackRejectsPointerLoop(t *testing.T) {
+	// Craft a header plus a self-referential name pointer.
+	b := make([]byte, 12)
+	b[5] = 1 // QDCOUNT=1
+	b = append(b, 0xc0, 12)
+	b = append(b, 0, 1, 0, 1)
+	if _, err := Unpack(b); err == nil {
+		t.Fatal("Unpack accepted a pointer loop")
+	}
+}
+
+func TestUnpackRejectsForwardPointer(t *testing.T) {
+	b := make([]byte, 12)
+	b[5] = 1
+	b = append(b, 0xc0, 20) // points past itself
+	b = append(b, 0, 1, 0, 1, 0, 0, 0, 0)
+	if _, err := Unpack(b); err == nil {
+		t.Fatal("Unpack accepted a forward pointer")
+	}
+}
+
+func TestUnpackTruncatedInputs(t *testing.T) {
+	full := mustPack(t, NewQuery(9, "host.example.org", TypeAAAA))
+	for i := 0; i < len(full); i++ {
+		if _, err := Unpack(full[:i]); err == nil {
+			t.Fatalf("Unpack accepted %d-byte prefix", i)
+		}
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	long := Name(bytes.Repeat([]byte("a"), 64))
+	if _, err := packName(nil, long+".com.", nil); err != ErrLabelTooLong {
+		t.Errorf("63+ label: err = %v, want ErrLabelTooLong", err)
+	}
+	var huge Name
+	for i := 0; i < 30; i++ {
+		huge += "0123456789"
+	}
+	huge = Name(bytes.Repeat([]byte("abcdefghij."), 30))
+	if _, err := packName(nil, huge, nil); err != ErrNameTooLong {
+		t.Errorf("255+ name: err = %v, want ErrNameTooLong", err)
+	}
+	if _, err := packName(nil, "a..com.", nil); err != ErrEmptyLabel {
+		t.Errorf("empty label: err = %v, want ErrEmptyLabel", err)
+	}
+}
+
+func TestRootNameRoundTrip(t *testing.T) {
+	b, err := packName(nil, ".", make(map[string]int))
+	if err != nil {
+		t.Fatalf("packName(.): %v", err)
+	}
+	if len(b) != 1 || b[0] != 0 {
+		t.Fatalf("root encoding = %v", b)
+	}
+	n, next, err := unpackName(b, 0)
+	if err != nil || n != "." || next != 1 {
+		t.Fatalf("unpack root = %q,%d,%v", n, next, err)
+	}
+}
+
+func TestNameHelpers(t *testing.T) {
+	n := NewName("a.b.example.com")
+	if n != "a.b.example.com." {
+		t.Errorf("NewName = %q", n)
+	}
+	if got := n.Parent(); got != "b.example.com." {
+		t.Errorf("Parent = %q", got)
+	}
+	if !n.IsSubdomainOf("example.com.") {
+		t.Error("IsSubdomainOf(example.com.) = false")
+	}
+	if n.IsSubdomainOf("xample.com.") {
+		t.Error("IsSubdomainOf(xample.com.) = true; suffix match must be label-aligned")
+	}
+	if !Name("EXAMPLE.com.").Equal("example.COM.") {
+		t.Error("Equal is case-sensitive")
+	}
+	if got := Name(".").Parent(); got != "." {
+		t.Errorf("root parent = %q", got)
+	}
+	if labels := Name("x.y.").Labels(); len(labels) != 2 || labels[0] != "x" {
+		t.Errorf("Labels = %v", labels)
+	}
+}
+
+func TestTruncateSetsTCAndFits(t *testing.T) {
+	m := NewQuery(3, "big.a.com", TypeTXT).Reply()
+	for i := 0; i < 64; i++ {
+		m.Answers = append(m.Answers, ResourceRecord{
+			Name: "big.a.com.", Type: TypeTXT, Class: ClassIN, TTL: 5,
+			Data: TXTRecord{Strings: []string{string(bytes.Repeat([]byte{'x'}, 100))}},
+		})
+	}
+	tr, err := m.Truncate(MaxUDPPayload)
+	if err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if !tr.Header.Truncated {
+		t.Error("TC not set")
+	}
+	b := mustPack(t, tr)
+	if len(b) > MaxUDPPayload {
+		t.Errorf("truncated message is %d bytes", len(b))
+	}
+	if len(tr.Answers) >= 64 {
+		t.Error("no answers dropped")
+	}
+	// Original untouched.
+	if len(m.Answers) != 64 || m.Header.Truncated {
+		t.Error("Truncate mutated the original message")
+	}
+}
+
+func TestTruncateNoopWhenSmall(t *testing.T) {
+	m := NewQuery(4, "s.a.com", TypeA)
+	tr, err := m.Truncate(MaxUDPPayload)
+	if err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if tr != m {
+		t.Error("Truncate copied a message that already fits")
+	}
+}
+
+func TestOPTRecordCarriesUDPSize(t *testing.T) {
+	m := NewQuery(5, "e.a.com", TypeA)
+	m.Additionals = append(m.Additionals, ResourceRecord{
+		Name: ".", Type: TypeOPT, Data: OPTRecord{UDPSize: 4096},
+	})
+	b := mustPack(t, m)
+	got, err := Unpack(b)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	opt, ok := got.Additionals[0].Data.(OPTRecord)
+	if !ok || opt.UDPSize != 4096 {
+		t.Fatalf("OPT = %+v", got.Additionals[0].Data)
+	}
+}
+
+func TestUnknownTypePreservedOpaquely(t *testing.T) {
+	m := NewQuery(6, "u.a.com", Type(99)).Reply()
+	m.Answers = append(m.Answers, ResourceRecord{
+		Name: "u.a.com.", Type: Type(99), Class: ClassIN, TTL: 9,
+		Data: UnknownRecord{T: Type(99), Raw: []byte{1, 2, 3, 4}},
+	})
+	b := mustPack(t, m)
+	got, err := Unpack(b)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	u, ok := got.Answers[0].Data.(UnknownRecord)
+	if !ok || !bytes.Equal(u.Raw, []byte{1, 2, 3, 4}) {
+		t.Fatalf("Unknown = %+v", got.Answers[0].Data)
+	}
+}
+
+func TestReplyMirrorsQuery(t *testing.T) {
+	q := NewQuery(77, "q.example", TypeAAAA)
+	r := q.Reply()
+	if !r.Header.Response || r.Header.ID != 77 {
+		t.Errorf("Reply header = %+v", r.Header)
+	}
+	if len(r.Questions) != 1 || r.Questions[0] != q.Questions[0] {
+		t.Errorf("Reply questions = %v", r.Questions)
+	}
+}
+
+func TestUnpackGarbageNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Unpack(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackUnpackProperty checks that any well-formed query round-trips.
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(id uint16, l1, l2 uint8, typ uint16) bool {
+		label := func(n uint8) string {
+			const alpha = "abcdefghijklmnopqrstuvwxyz0123456789-"
+			k := int(n)%20 + 1
+			s := make([]byte, k)
+			for i := range s {
+				s[i] = alpha[(int(n)+i)%len(alpha)]
+			}
+			if s[0] == '-' {
+				s[0] = 'a'
+			}
+			if s[k-1] == '-' {
+				s[k-1] = 'z'
+			}
+			return string(s)
+		}
+		name := NewName(label(l1) + "." + label(l2) + ".test")
+		q := NewQuery(id, name, Type(typ))
+		b, err := q.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(b)
+		if err != nil {
+			return false
+		}
+		return got.Header.ID == id &&
+			got.Questions[0].Name.Equal(name) &&
+			got.Questions[0].Type == Type(typ)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := NewQuery(1, "x.a.com", TypeA).Reply()
+	m.Answers = append(m.Answers, ResourceRecord{
+		Name: "x.a.com.", Type: TypeA, Class: ClassIN, TTL: 60,
+		Data: ARecord{Addr: netip.MustParseAddr("203.0.113.7")},
+	})
+	s := m.String()
+	for _, want := range []string{"NOERROR", "x.a.com.", "203.0.113.7"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}

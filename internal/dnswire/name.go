@@ -1,0 +1,171 @@
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Name is a fully-qualified domain name in presentation form, always
+// stored with a trailing dot ("example.com."). The root zone is ".".
+// Comparison is case-insensitive per RFC 1035 §2.3.3; use Equal or
+// Canonical rather than ==.
+type Name string
+
+// Name encoding errors.
+var (
+	ErrNameTooLong  = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel   = errors.New("dnswire: empty label in name")
+	ErrBadPointer   = errors.New("dnswire: bad compression pointer")
+)
+
+// NewName normalizes s into a Name, appending the trailing dot if
+// missing. It does not validate lengths; Pack does.
+func NewName(s string) Name {
+	if s == "" || s == "." {
+		return "."
+	}
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	return Name(s)
+}
+
+// String returns the presentation form.
+func (n Name) String() string { return string(n) }
+
+// IsRoot reports whether n is the root name.
+func (n Name) IsRoot() bool { return n == "." || n == "" }
+
+// Canonical returns the lower-cased form used as a map key.
+func (n Name) Canonical() Name { return Name(strings.ToLower(string(NewName(string(n))))) }
+
+// Equal reports case-insensitive equality.
+func (n Name) Equal(m Name) bool { return n.Canonical() == m.Canonical() }
+
+// Labels splits the name into its labels, excluding the root.
+// "a.b.com." → ["a" "b" "com"].
+func (n Name) Labels() []string {
+	s := strings.TrimSuffix(string(NewName(string(n))), ".")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ".")
+}
+
+// Parent returns the name with the leftmost label removed.
+// "a.b.com." → "b.com.". The parent of the root is the root.
+func (n Name) Parent() Name {
+	labels := n.Labels()
+	if len(labels) <= 1 {
+		return "."
+	}
+	return Name(strings.Join(labels[1:], ".") + ".")
+}
+
+// IsSubdomainOf reports whether n is equal to or underneath zone.
+func (n Name) IsSubdomainOf(zone Name) bool {
+	if zone.IsRoot() {
+		return true
+	}
+	nc, zc := string(n.Canonical()), string(zone.Canonical())
+	return nc == zc || strings.HasSuffix(nc, "."+zc)
+}
+
+// validate checks RFC 1035 length limits.
+func (n Name) validate() error {
+	if n.IsRoot() {
+		return nil
+	}
+	wireLen := 1 // terminal zero octet
+	for _, label := range n.Labels() {
+		if label == "" {
+			return ErrEmptyLabel
+		}
+		if len(label) > 63 {
+			return ErrLabelTooLong
+		}
+		wireLen += 1 + len(label)
+	}
+	if wireLen > 255 {
+		return ErrNameTooLong
+	}
+	return nil
+}
+
+// packName appends the wire encoding of n to b, using and updating the
+// compression map (canonical suffix → offset). Offsets beyond the
+// 14-bit pointer range are not recorded.
+func packName(b []byte, n Name, compress map[string]int) ([]byte, error) {
+	n = NewName(string(n))
+	if err := n.validate(); err != nil {
+		return nil, err
+	}
+	labels := n.Labels()
+	for i := range labels {
+		suffix := strings.ToLower(strings.Join(labels[i:], ".")) + "."
+		if off, ok := compress[suffix]; ok {
+			return append(b, byte(0xc0|off>>8), byte(off)), nil
+		}
+		if off := len(b); off < 0x4000 && compress != nil {
+			compress[suffix] = off
+		}
+		b = append(b, byte(len(labels[i])))
+		b = append(b, labels[i]...)
+	}
+	return append(b, 0), nil
+}
+
+// unpackName decodes a possibly-compressed name starting at off,
+// returning the name and the offset just past it in the original
+// (non-pointer-following) stream.
+func unpackName(msg []byte, off int) (Name, int, error) {
+	var sb strings.Builder
+	ptrBudget := 64 // guards against pointer loops
+	next := -1      // offset after the first pointer, i.e. the caller's resume point
+	for {
+		if off >= len(msg) {
+			return "", 0, errTruncated
+		}
+		c := int(msg[off])
+		switch {
+		case c == 0:
+			if next == -1 {
+				next = off + 1
+			}
+			if sb.Len() == 0 {
+				return ".", next, nil
+			}
+			return Name(sb.String()), next, nil
+		case c&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return "", 0, errTruncated
+			}
+			ptr := (c&0x3f)<<8 | int(msg[off+1])
+			if next == -1 {
+				next = off + 2
+			}
+			if ptr >= off {
+				// A pointer must reference a strictly earlier offset.
+				return "", 0, ErrBadPointer
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrBadPointer
+			}
+			off = ptr
+		case c&0xc0 != 0:
+			return "", 0, ErrBadPointer
+		default:
+			if off+1+c > len(msg) {
+				return "", 0, errTruncated
+			}
+			sb.Write(msg[off+1 : off+1+c])
+			sb.WriteByte('.')
+			if sb.Len() > 255+64 {
+				return "", 0, ErrNameTooLong
+			}
+			off += 1 + c
+		}
+	}
+}

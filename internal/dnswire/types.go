@@ -1,0 +1,208 @@
+// Package dnswire implements the DNS wire format defined in RFC 1035
+// (with EDNS0 from RFC 6891). It provides message packing and unpacking
+// with name compression, and typed resource record data for the record
+// types the rest of the system needs (A, AAAA, NS, CNAME, SOA, PTR, MX,
+// TXT, OPT).
+//
+// The codec is transport-agnostic: the same []byte messages travel over
+// UDP, TCP (with the 2-byte length prefix added by the transport), or
+// HTTPS (RFC 8484 DoH).
+package dnswire
+
+import "fmt"
+
+// Type is a DNS resource record type (RFC 1035 §3.2.2).
+type Type uint16
+
+// Resource record types used by this library.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeOPT   Type = 41
+	TypeANY   Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeA:     "A",
+	TypeNS:    "NS",
+	TypeCNAME: "CNAME",
+	TypeSOA:   "SOA",
+	TypePTR:   "PTR",
+	TypeMX:    "MX",
+	TypeTXT:   "TXT",
+	TypeAAAA:  "AAAA",
+	TypeOPT:   "OPT",
+	TypeANY:   "ANY",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a DNS class. Only IN is used in practice.
+type Class uint16
+
+// DNS classes.
+const (
+	ClassIN  Class = 1
+	ClassCH  Class = 3
+	ClassANY Class = 255
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassIN:
+		return "IN"
+	case ClassCH:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// Opcode is the 4-bit message opcode.
+type Opcode uint8
+
+// Opcodes.
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeIQuery Opcode = 1
+	OpcodeStatus Opcode = 2
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeIQuery:
+		return "IQUERY"
+	case OpcodeStatus:
+		return "STATUS"
+	case OpcodeNotify:
+		return "NOTIFY"
+	case OpcodeUpdate:
+		return "UPDATE"
+	}
+	return fmt.Sprintf("OPCODE%d", uint8(o))
+}
+
+// RCode is the 4-bit response code.
+type RCode uint8
+
+// Response codes (RFC 1035 §4.1.1).
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+func (r RCode) String() string {
+	switch r {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	}
+	return fmt.Sprintf("RCODE%d", uint8(r))
+}
+
+// Header flag bit masks within the 16-bit flags word.
+const (
+	flagQR uint16 = 1 << 15
+	flagAA uint16 = 1 << 10
+	flagTC uint16 = 1 << 9
+	flagRD uint16 = 1 << 8
+	flagRA uint16 = 1 << 7
+	flagAD uint16 = 1 << 5
+	flagCD uint16 = 1 << 4
+)
+
+// Header is the 12-byte DNS message header in decoded form.
+type Header struct {
+	ID                 uint16
+	Response           bool // QR
+	Opcode             Opcode
+	Authoritative      bool // AA
+	Truncated          bool // TC
+	RecursionDesired   bool // RD
+	RecursionAvailable bool // RA
+	AuthenticData      bool // AD
+	CheckingDisabled   bool // CD
+	RCode              RCode
+}
+
+func (h Header) flags() uint16 {
+	var f uint16
+	if h.Response {
+		f |= flagQR
+	}
+	f |= uint16(h.Opcode&0xf) << 11
+	if h.Authoritative {
+		f |= flagAA
+	}
+	if h.Truncated {
+		f |= flagTC
+	}
+	if h.RecursionDesired {
+		f |= flagRD
+	}
+	if h.RecursionAvailable {
+		f |= flagRA
+	}
+	if h.AuthenticData {
+		f |= flagAD
+	}
+	if h.CheckingDisabled {
+		f |= flagCD
+	}
+	f |= uint16(h.RCode & 0xf)
+	return f
+}
+
+func headerFromFlags(f uint16) Header {
+	return Header{
+		Response:           f&flagQR != 0,
+		Opcode:             Opcode(f >> 11 & 0xf),
+		Authoritative:      f&flagAA != 0,
+		Truncated:          f&flagTC != 0,
+		RecursionDesired:   f&flagRD != 0,
+		RecursionAvailable: f&flagRA != 0,
+		AuthenticData:      f&flagAD != 0,
+		CheckingDisabled:   f&flagCD != 0,
+		RCode:              RCode(f & 0xf),
+	}
+}
+
+// Question is a single entry of the question section.
+type Question struct {
+	Name  Name
+	Type  Type
+	Class Class
+}
+
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}

@@ -1,0 +1,163 @@
+// Package dohserver implements an RFC 8484 DNS-over-HTTPS server as an
+// http.Handler: GET with the base64url ?dns= parameter and POST with
+// an application/dns-message body. Each DoH provider point of presence
+// in the reproduction fronts a recursive resolver with this handler;
+// the same handler also runs over real TLS sockets in the examples and
+// cmd/dohsrv.
+package dohserver
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/recursive"
+)
+
+// ContentType is the RFC 8484 media type for DNS messages.
+const ContentType = "application/dns-message"
+
+// DefaultPath is the conventional DoH endpoint path.
+const DefaultPath = "/dns-query"
+
+// maxRequestSize bounds POST bodies and decoded GET payloads.
+const maxRequestSize = 64 * 1024
+
+// Handler serves RFC 8484 DoH requests by delegating to a resolver.
+type Handler struct {
+	// Resolver answers the decoded DNS queries.
+	Resolver *recursive.Resolver
+	// MaxAge caps the Cache-Control max-age; 0 uses the answer TTL.
+	MaxAge time.Duration
+	// KeepECS disables the default privacy scrub of EDNS Client
+	// Subnet options from incoming queries. The paper's ethics
+	// appendix commits to never inspecting ECS client addresses; by
+	// default this server removes them before resolution.
+	KeepECS bool
+
+	queries  atomic.Int64
+	scrubbed atomic.Int64
+}
+
+// NewHandler wraps r in a DoH handler.
+func NewHandler(r *recursive.Resolver) *Handler { return &Handler{Resolver: r} }
+
+// Queries reports the number of well-formed DoH queries served.
+func (h *Handler) Queries() int64 { return h.queries.Load() }
+
+// ScrubbedECS reports how many queries arrived with an ECS option
+// that was removed.
+func (h *Handler) ScrubbedECS() int64 { return h.scrubbed.Load() }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	raw, status, err := extractQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	q, err := dnswire.Unpack(raw)
+	if err != nil || len(q.Questions) == 0 {
+		http.Error(w, "malformed DNS message", http.StatusBadRequest)
+		return
+	}
+	h.queries.Add(1)
+	if !h.KeepECS {
+		if stripped, err := dnswire.StripECS(q); err != nil {
+			http.Error(w, "malformed EDNS options", http.StatusBadRequest)
+			return
+		} else if stripped {
+			h.scrubbed.Add(1)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+	defer cancel()
+	resp, err := h.Resolver.Resolve(ctx, q)
+	if err != nil {
+		resp = q.Reply()
+		resp.Header.RCode = dnswire.RCodeServFail
+		resp.Header.RecursionAvailable = true
+	}
+	wire, err := resp.Pack()
+	if err != nil {
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(wire)))
+	w.Header().Set("Cache-Control", fmt.Sprintf("max-age=%d", h.maxAge(resp)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(wire)
+}
+
+func (h *Handler) maxAge(resp *dnswire.Message) int {
+	age := 0
+	if len(resp.Answers) > 0 {
+		age = int(resp.Answers[0].TTL)
+		for _, rr := range resp.Answers[1:] {
+			if int(rr.TTL) < age {
+				age = int(rr.TTL)
+			}
+		}
+	}
+	if h.MaxAge > 0 && age > int(h.MaxAge/time.Second) {
+		age = int(h.MaxAge / time.Second)
+	}
+	return age
+}
+
+// extractQuery pulls the raw DNS message out of a DoH request,
+// returning an HTTP status on failure.
+func extractQuery(r *http.Request) ([]byte, int, error) {
+	switch r.Method {
+	case http.MethodGet:
+		b64 := r.URL.Query().Get("dns")
+		if b64 == "" {
+			return nil, http.StatusBadRequest, fmt.Errorf("missing dns query parameter")
+		}
+		raw, err := base64.RawURLEncoding.DecodeString(b64)
+		if err != nil {
+			// Tolerate padded input from sloppy clients.
+			raw, err = base64.URLEncoding.DecodeString(b64)
+			if err != nil {
+				return nil, http.StatusBadRequest, fmt.Errorf("dns parameter is not base64url")
+			}
+		}
+		if len(raw) > maxRequestSize {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("query too large")
+		}
+		return raw, 0, nil
+	case http.MethodPost:
+		if ct := r.Header.Get("Content-Type"); ct != ContentType {
+			return nil, http.StatusUnsupportedMediaType,
+				fmt.Errorf("content-type %q, want %q", ct, ContentType)
+		}
+		raw, err := io.ReadAll(io.LimitReader(r.Body, maxRequestSize+1))
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("reading body: %v", err)
+		}
+		if len(raw) > maxRequestSize {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("query too large")
+		}
+		return raw, 0, nil
+	default:
+		return nil, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method)
+	}
+}
+
+// Mux returns an http.ServeMux with the wire-format handler mounted
+// at DefaultPath and the JSON API at JSONPath, mirroring public
+// providers' layouts.
+func (h *Handler) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle(DefaultPath, h)
+	mux.HandleFunc(JSONPath, h.ServeJSON)
+	return mux
+}

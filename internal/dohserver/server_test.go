@@ -1,0 +1,371 @@
+package dohserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+
+	"repro/internal/dnswire"
+	"repro/internal/recursive"
+)
+
+func testResolver() *recursive.Resolver {
+	r := recursive.New(nil)
+	r.SetDefault(recursive.UpstreamFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		m := q.Reply()
+		m.Answers = append(m.Answers, dnswire.ResourceRecord{
+			Name: q.Questions[0].Name, Type: dnswire.TypeA,
+			Class: dnswire.ClassIN, TTL: 42,
+			Data: dnswire.ARecord{Addr: netip.MustParseAddr("203.0.113.1")},
+		})
+		return m, nil
+	}))
+	return r
+}
+
+func packedQuery(t *testing.T, name dnswire.Name) []byte {
+	t.Helper()
+	wire, err := dnswire.NewQuery(0x99, name, dnswire.TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestGETRoundTrip(t *testing.T) {
+	h := NewHandler(testResolver())
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+
+	wire := packedQuery(t, "u1.a.com.")
+	resp, err := http.Get(srv.URL + DefaultPath + "?dns=" + base64.RawURLEncoding.EncodeToString(wire))
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("content-type = %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "max-age=42" {
+		t.Errorf("cache-control = %q, want max-age=42", cc)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	m, err := dnswire.Unpack(body)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if m.Header.ID != 0x99 || len(m.Answers) != 1 {
+		t.Fatalf("message = %v", m)
+	}
+	if h.Queries() != 1 {
+		t.Errorf("Queries() = %d", h.Queries())
+	}
+}
+
+func TestGETAcceptsPaddedBase64(t *testing.T) {
+	h := NewHandler(testResolver())
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+	wire := packedQuery(t, "u2.a.com.")
+	resp, err := http.Get(srv.URL + DefaultPath + "?dns=" + base64.URLEncoding.EncodeToString(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s (padded base64 rejected)", resp.Status)
+	}
+}
+
+func TestPOSTRoundTrip(t *testing.T) {
+	h := NewHandler(testResolver())
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+	wire := packedQuery(t, "u3.a.com.")
+	resp, err := http.Post(srv.URL+DefaultPath, ContentType, bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if m, err := dnswire.Unpack(body); err != nil || len(m.Answers) != 1 {
+		t.Fatalf("body = %v, %v", m, err)
+	}
+}
+
+func TestPOSTWrongContentType(t *testing.T) {
+	h := NewHandler(testResolver())
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+DefaultPath, "text/plain", bytes.NewReader(packedQuery(t, "x.a.com.")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("status = %s, want 415", resp.Status)
+	}
+}
+
+func TestGETMissingParam(t *testing.T) {
+	h := NewHandler(testResolver())
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + DefaultPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %s, want 400", resp.Status)
+	}
+}
+
+func TestGETMalformedMessage(t *testing.T) {
+	h := NewHandler(testResolver())
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + DefaultPath + "?dns=" + base64.RawURLEncoding.EncodeToString([]byte("nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %s, want 400", resp.Status)
+	}
+	if h.Queries() != 0 {
+		t.Errorf("Queries() = %d, want 0", h.Queries())
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	h := NewHandler(testResolver())
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+DefaultPath, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %s, want 405", resp.Status)
+	}
+}
+
+func TestServFailOnResolverError(t *testing.T) {
+	r := recursive.New(nil)
+	r.SetDefault(recursive.UpstreamFunc(func(context.Context, *dnswire.Message) (*dnswire.Message, error) {
+		return nil, context.DeadlineExceeded
+	}))
+	h := NewHandler(r)
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + DefaultPath + "?dns=" +
+		base64.RawURLEncoding.EncodeToString(packedQuery(t, "f.a.com.")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s; SERVFAIL must travel as DNS, not HTTP", resp.Status)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	m, err := dnswire.Unpack(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.RCode != dnswire.RCodeServFail {
+		t.Fatalf("rcode = %v, want SERVFAIL", m.Header.RCode)
+	}
+}
+
+func TestMaxAgeCapped(t *testing.T) {
+	h := NewHandler(testResolver())
+	h.MaxAge = 10e9 // 10 seconds
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet,
+		DefaultPath+"?dns="+base64.RawURLEncoding.EncodeToString(packedQuery(t, "c.a.com.")), nil)
+	h.ServeHTTP(rec, req)
+	if cc := rec.Header().Get("Cache-Control"); cc != "max-age=10" {
+		t.Errorf("cache-control = %q, want max-age=10 (TTL 42 capped)", cc)
+	}
+}
+
+func TestECSScrubbedByDefault(t *testing.T) {
+	var sawECS, sawQuery bool
+	r := recursive.New(nil)
+	r.SetDefault(recursive.UpstreamFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		sawQuery = true
+		if _, ok, _ := dnswire.FindECS(q); ok {
+			sawECS = true
+		}
+		m := q.Reply()
+		m.Answers = append(m.Answers, dnswire.ResourceRecord{
+			Name: q.Questions[0].Name, Type: dnswire.TypeA,
+			Class: dnswire.ClassIN, TTL: 5,
+			Data: dnswire.ARecord{Addr: netip.MustParseAddr("203.0.113.4")},
+		})
+		return m, nil
+	}))
+	h := NewHandler(r)
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+
+	q := dnswire.NewQuery(3, "ecs.a.com.", dnswire.TypeA)
+	ecs, err := (dnswire.ECS{Prefix: netip.MustParsePrefix("198.51.100.0/24")}).Option()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Additionals = append(q.Additionals, dnswire.ResourceRecord{
+		Name: ".", Type: dnswire.TypeOPT,
+		Data: dnswire.OPTRecord{UDPSize: 4096}.WithOptions([]dnswire.EDNSOption{ecs}),
+	})
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + DefaultPath + "?dns=" + base64.RawURLEncoding.EncodeToString(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if !sawQuery {
+		t.Fatal("upstream never queried")
+	}
+	if sawECS {
+		t.Error("ECS reached the upstream despite the default scrub")
+	}
+	if h.ScrubbedECS() != 1 {
+		t.Errorf("ScrubbedECS = %d", h.ScrubbedECS())
+	}
+
+	// With KeepECS the option passes through (fresh name so the
+	// shared resolver cache does not absorb the query).
+	h2 := NewHandler(r)
+	h2.KeepECS = true
+	srv2 := httptest.NewServer(h2.Mux())
+	defer srv2.Close()
+	sawECS = false
+	q2 := dnswire.NewQuery(4, "ecs2.a.com.", dnswire.TypeA)
+	q2.Additionals = q.Additionals
+	wire2, err := q2.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(srv2.URL + DefaultPath + "?dns=" + base64.RawURLEncoding.EncodeToString(wire2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if !sawECS {
+		t.Error("ECS scrubbed even with KeepECS")
+	}
+}
+
+func TestJSONAPI(t *testing.T) {
+	h := NewHandler(testResolver())
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + JSONPath + "?name=j1.a.com&type=A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != JSONContentType {
+		t.Errorf("content-type = %q", ct)
+	}
+	var body JSONResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if body.Status != 0 {
+		t.Errorf("Status = %d", body.Status)
+	}
+	if len(body.Question) != 1 || body.Question[0].Name != "j1.a.com." || body.Question[0].Type != 1 {
+		t.Errorf("Question = %+v", body.Question)
+	}
+	if len(body.Answer) != 1 || body.Answer[0].Data != "203.0.113.1" || body.Answer[0].TTL != 42 {
+		t.Errorf("Answer = %+v", body.Answer)
+	}
+	if !body.RA {
+		t.Error("RA not set")
+	}
+}
+
+func TestJSONAPIParamValidation(t *testing.T) {
+	h := NewHandler(testResolver())
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + JSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing name: status = %s", resp.Status)
+	}
+
+	resp2, err := http.Get(srv.URL + JSONPath + "?name=x.a.com&type=BOGUS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad type: status = %s", resp2.Status)
+	}
+
+	// Numeric and default types work.
+	for _, qs := range []string{"?name=y.a.com&type=28", "?name=z.a.com"} {
+		r, err := http.Get(srv.URL + JSONPath + qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s: status = %s", qs, r.Status)
+		}
+	}
+}
+
+func TestJSONAPIServFail(t *testing.T) {
+	r := recursive.New(nil)
+	r.SetDefault(recursive.UpstreamFunc(func(context.Context, *dnswire.Message) (*dnswire.Message, error) {
+		return nil, context.DeadlineExceeded
+	}))
+	h := NewHandler(r)
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + JSONPath + "?name=f.a.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body JSONResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != int(dnswire.RCodeServFail) {
+		t.Errorf("Status = %d, want SERVFAIL(2)", body.Status)
+	}
+}

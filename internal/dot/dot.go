@@ -1,0 +1,240 @@
+// Package dot implements DNS-over-TLS (RFC 7858): DNS messages with
+// two-byte length framing over a TLS session on port 853. The paper
+// positions DoH against DoT (Section 2) and compares its findings
+// with Doan et al.'s RIPE-Atlas DoT study; this package supplies the
+// protocol so the extension experiment in the benchmark harness can
+// measure Do53 vs DoT vs DoH on the same substrate.
+package dot
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dnsclient"
+	"repro/internal/dnswire"
+	"repro/internal/recursive"
+)
+
+// DefaultPort is the IANA-assigned DoT port.
+const DefaultPort = 853
+
+// Timing is the per-phase breakdown of a DoT exchange.
+type Timing struct {
+	// Connect is the TCP handshake time (zero on reuse).
+	Connect time.Duration
+	// TLSHandshake is the TLS establishment time (zero on reuse).
+	TLSHandshake time.Duration
+	// RoundTrip is the framed query/response time.
+	RoundTrip time.Duration
+	// Total is the whole exchange.
+	Total time.Duration
+	// Reused reports whether a pooled connection served the query.
+	Reused bool
+}
+
+// Client is a DoT client with a single pooled connection, mirroring
+// stub-resolver behavior (RFC 7858 recommends connection reuse).
+type Client struct {
+	// Addr is the server host:port.
+	Addr string
+	// TLSConfig configures the session; nil uses sane defaults with
+	// ServerName derived from Addr.
+	TLSConfig *tls.Config
+	// Timeout bounds each exchange (default 10s).
+	Timeout time.Duration
+
+	mu   sync.Mutex
+	conn *tls.Conn
+}
+
+// Query resolves (name, typ) over DoT.
+func (c *Client) Query(ctx context.Context, name dnswire.Name, typ dnswire.Type) (*dnswire.Message, Timing, error) {
+	q := dnswire.NewQuery(dnsclient.RandomID(), name, typ)
+	return c.Exchange(ctx, q)
+}
+
+// Exchange sends q, reusing the pooled TLS connection when alive. On
+// a dead pooled connection it redials once.
+func (c *Client) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, timing, err := c.exchangeLocked(ctx, q)
+	if err != nil && timing.Reused {
+		// The pooled connection died under us; retry on a fresh one.
+		c.closeLocked()
+		resp, timing, err = c.exchangeLocked(ctx, q)
+	}
+	return resp, timing, err
+}
+
+func (c *Client) exchangeLocked(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+	var timing Timing
+	start := time.Now()
+	deadline := start.Add(c.timeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+
+	if c.conn == nil {
+		host, _, err := net.SplitHostPort(c.Addr)
+		if err != nil {
+			return nil, timing, fmt.Errorf("dot: bad address %q: %v", c.Addr, err)
+		}
+		var d net.Dialer
+		connStart := time.Now()
+		raw, err := d.DialContext(ctx, "tcp", c.Addr)
+		if err != nil {
+			return nil, timing, fmt.Errorf("dot: dial: %w", err)
+		}
+		timing.Connect = time.Since(connStart)
+		cfg := c.TLSConfig
+		if cfg == nil {
+			cfg = &tls.Config{ServerName: host, MinVersion: tls.VersionTLS12}
+		}
+		tlsStart := time.Now()
+		conn := tls.Client(raw, cfg)
+		conn.SetDeadline(deadline)
+		if err := conn.HandshakeContext(ctx); err != nil {
+			raw.Close()
+			return nil, timing, fmt.Errorf("dot: TLS handshake: %w", err)
+		}
+		timing.TLSHandshake = time.Since(tlsStart)
+		c.conn = conn
+	} else {
+		timing.Reused = true
+	}
+
+	conn := c.conn
+	conn.SetDeadline(deadline)
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, timing, err
+	}
+	rtStart := time.Now()
+	if err := dnsclient.WriteTCPMessage(conn, wire); err != nil {
+		return nil, timing, fmt.Errorf("dot: write: %w", err)
+	}
+	raw, err := dnsclient.ReadTCPMessage(conn)
+	if err != nil {
+		return nil, timing, fmt.Errorf("dot: read: %w", err)
+	}
+	timing.RoundTrip = time.Since(rtStart)
+	timing.Total = time.Since(start)
+	resp, err := dnswire.Unpack(raw)
+	if err != nil {
+		return nil, timing, fmt.Errorf("dot: decode: %w", err)
+	}
+	if resp.Header.ID != q.Header.ID {
+		return nil, timing, errors.New("dot: response ID mismatch")
+	}
+	return resp, timing, nil
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 10 * time.Second
+}
+
+// Close drops the pooled connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closeLocked()
+	return nil
+}
+
+func (c *Client) closeLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Server serves DoT by delegating to a recursive resolver.
+type Server struct {
+	// Resolver answers decoded queries.
+	Resolver *recursive.Resolver
+	// TLSConfig must carry a certificate.
+	TLSConfig *tls.Config
+
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewServer builds a DoT server.
+func NewServer(res *recursive.Resolver, cfg *tls.Config) *Server {
+	return &Server{Resolver: res, TLSConfig: cfg}
+}
+
+// ListenAndServe binds addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	if s.TLSConfig == nil || len(s.TLSConfig.Certificates) == 0 && s.TLSConfig.GetCertificate == nil {
+		return errors.New("dot: server needs a TLS certificate")
+	}
+	ln, err := tls.Listen("tcp", addr, s.TLSConfig)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.serve()
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for handlers.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			for {
+				conn.SetDeadline(time.Now().Add(30 * time.Second))
+				raw, err := dnsclient.ReadTCPMessage(conn)
+				if err != nil {
+					return
+				}
+				q, err := dnswire.Unpack(raw)
+				if err != nil || q.Header.Response || len(q.Questions) == 0 {
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				resp, err := s.Resolver.Resolve(ctx, q)
+				cancel()
+				if err != nil {
+					resp = q.Reply()
+					resp.Header.RCode = dnswire.RCodeServFail
+					resp.Header.RecursionAvailable = true
+				}
+				wire, err := resp.Pack()
+				if err != nil {
+					return
+				}
+				if err := dnsclient.WriteTCPMessage(conn, wire); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}

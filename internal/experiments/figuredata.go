@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"repro/internal/anycast"
+	"repro/internal/stats"
+)
+
+// WriteFigureData writes the raw series behind the paper's figures as
+// CSV files suitable for plotting: the Figure-4 resolution-time CDFs,
+// the Figure-6 potential-improvement CDFs, the Figure-9 PoP-distance
+// CDFs, the Figure-3 per-country client counts, and the Figure-7
+// per-country deltas. CDFs are decimated to at most `points` points
+// per series (0 means 200).
+func (s *Suite) WriteFigureData(dir string, points int) error {
+	if points <= 0 {
+		points = 200
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	writeCDFs := func(filename string, series map[string][]float64) error {
+		f, err := os.Create(filepath.Join(dir, filename))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write([]string{"series", "x", "p"}); err != nil {
+			return err
+		}
+		var names []string
+		for name := range series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			vals := series[name]
+			if len(vals) == 0 {
+				continue
+			}
+			ecdf, err := stats.NewECDF(vals)
+			if err != nil {
+				return err
+			}
+			for _, pt := range ecdf.Points(points) {
+				if err := w.Write([]string{
+					name,
+					strconv.FormatFloat(pt[0], 'f', 3, 64),
+					strconv.FormatFloat(pt[1], 'f', 5, 64),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		w.Flush()
+		return w.Error()
+	}
+
+	// Figure 4: resolution-time CDFs.
+	doh1, dohr, do53 := s.Analysis.ResolverDistributions()
+	fig4 := map[string][]float64{"do53": do53}
+	for _, pid := range anycast.ProviderIDs() {
+		fig4[string(pid)+"-doh1"] = doh1[pid]
+		fig4[string(pid)+"-dohr"] = dohr[pid]
+	}
+	if err := writeCDFs("figure4_cdf.csv", fig4); err != nil {
+		return fmt.Errorf("experiments: figure 4 data: %w", err)
+	}
+
+	// Figure 6: potential improvement CDFs (miles).
+	fig6 := map[string][]float64{}
+	for pid, vals := range s.Analysis.PotentialImprovementMiles() {
+		fig6[string(pid)] = vals
+	}
+	if err := writeCDFs("figure6_cdf.csv", fig6); err != nil {
+		return fmt.Errorf("experiments: figure 6 data: %w", err)
+	}
+
+	// Figure 9: client-to-PoP distance CDFs (miles).
+	fig9 := map[string][]float64{}
+	for pid, vals := range s.Analysis.ClientPoPDistanceMiles() {
+		fig9[string(pid)] = vals
+	}
+	if err := writeCDFs("figure9_cdf.csv", fig9); err != nil {
+		return fmt.Errorf("experiments: figure 9 data: %w", err)
+	}
+
+	// Figure 3: per-country client counts.
+	f3, err := os.Create(filepath.Join(dir, "figure3_counts.csv"))
+	if err != nil {
+		return err
+	}
+	defer f3.Close()
+	w3 := csv.NewWriter(f3)
+	if err := w3.Write([]string{"country", "clients"}); err != nil {
+		return err
+	}
+	byCountry := s.Dataset.ClientsByCountry()
+	for _, code := range s.Analysis.AnalyzedCountryCodes() {
+		if err := w3.Write([]string{code, strconv.Itoa(len(byCountry[code]))}); err != nil {
+			return err
+		}
+	}
+	w3.Flush()
+	if err := w3.Error(); err != nil {
+		return err
+	}
+
+	// Figure 7: per-country deltas at DoH10 per provider.
+	f7, err := os.Create(filepath.Join(dir, "figure7_deltas.csv"))
+	if err != nil {
+		return err
+	}
+	defer f7.Close()
+	w7 := csv.NewWriter(f7)
+	if err := w7.Write([]string{"provider", "country", "delta10_ms"}); err != nil {
+		return err
+	}
+	deltas := s.Analysis.CountryDelta(10)
+	for _, pid := range anycast.ProviderIDs() {
+		var codes []string
+		for code := range deltas[pid] {
+			codes = append(codes, code)
+		}
+		sort.Strings(codes)
+		for _, code := range codes {
+			if err := w7.Write([]string{
+				string(pid), code,
+				strconv.FormatFloat(deltas[pid][code], 'f', 2, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	w7.Flush()
+	return w7.Error()
+}

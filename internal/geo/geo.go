@@ -1,0 +1,112 @@
+// Package geo provides the geodesic math used throughout the study:
+// great-circle distances between clients, resolvers, PoPs, and the
+// authoritative name server, plus nearest-point selection. The paper
+// reports distances in miles; both units are exposed.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Earth radius constants.
+const (
+	EarthRadiusKm    = 6371.0
+	KmPerMile        = 1.609344
+	EarthRadiusMiles = EarthRadiusKm / KmPerMile
+)
+
+// Point is a latitude/longitude pair in degrees.
+type Point struct {
+	Lat float64
+	Lon float64
+}
+
+// String formats the point for logs.
+func (p Point) String() string { return fmt.Sprintf("(%.4f, %.4f)", p.Lat, p.Lon) }
+
+// Valid reports whether the point is within coordinate bounds.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+func radians(deg float64) float64 { return deg * math.Pi / 180 }
+
+// DistanceKm returns the great-circle (haversine) distance in
+// kilometers between a and b.
+func DistanceKm(a, b Point) float64 {
+	lat1, lon1 := radians(a.Lat), radians(a.Lon)
+	lat2, lon2 := radians(b.Lat), radians(b.Lon)
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// DistanceMiles returns the great-circle distance in miles.
+func DistanceMiles(a, b Point) float64 { return DistanceKm(a, b) / KmPerMile }
+
+// Nearest returns the index of the point in candidates closest to from
+// and the distance in km. It returns (-1, +Inf) for an empty slice.
+func Nearest(from Point, candidates []Point) (int, float64) {
+	best, bestDist := -1, math.Inf(1)
+	for i, c := range candidates {
+		if d := DistanceKm(from, c); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best, bestDist
+}
+
+// Midpoint returns the midpoint of the great-circle segment a-b.
+func Midpoint(a, b Point) Point {
+	lat1, lon1 := radians(a.Lat), radians(a.Lon)
+	lat2, lon2 := radians(b.Lat), radians(b.Lon)
+	dLon := lon2 - lon1
+	bx := math.Cos(lat2) * math.Cos(dLon)
+	by := math.Cos(lat2) * math.Sin(dLon)
+	lat := math.Atan2(math.Sin(lat1)+math.Sin(lat2),
+		math.Sqrt((math.Cos(lat1)+bx)*(math.Cos(lat1)+bx)+by*by))
+	lon := lon1 + math.Atan2(by, math.Cos(lat1)+bx)
+	return Point{Lat: lat * 180 / math.Pi, Lon: normalizeLon(lon * 180 / math.Pi)}
+}
+
+func normalizeLon(lon float64) float64 {
+	for lon > 180 {
+		lon -= 360
+	}
+	for lon < -180 {
+		lon += 360
+	}
+	return lon
+}
+
+// Jitter displaces p by up to maxKm kilometers using the two unit
+// deviates u, v in [0,1); used to scatter synthetic clients around a
+// country's centroid.
+func Jitter(p Point, maxKm float64, u, v float64) Point {
+	// Random bearing and distance.
+	bearing := 2 * math.Pi * u
+	dist := maxKm * math.Sqrt(v) // area-uniform within the disc
+	angDist := dist / EarthRadiusKm
+	lat1 := radians(p.Lat)
+	lon1 := radians(p.Lon)
+	lat2 := math.Asin(math.Sin(lat1)*math.Cos(angDist) +
+		math.Cos(lat1)*math.Sin(angDist)*math.Cos(bearing))
+	lon2 := lon1 + math.Atan2(math.Sin(bearing)*math.Sin(angDist)*math.Cos(lat1),
+		math.Cos(angDist)-math.Sin(lat1)*math.Sin(lat2))
+	out := Point{Lat: lat2 * 180 / math.Pi, Lon: normalizeLon(lon2 * 180 / math.Pi)}
+	if out.Lat > 90 {
+		out.Lat = 90
+	}
+	if out.Lat < -90 {
+		out.Lat = -90
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/world"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*time.Millisecond, func() { order = append(order, 3) })
+	e.At(10*time.Millisecond, func() { order = append(order, 1) })
+	e.At(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d", e.Processed())
+	}
+}
+
+func TestEngineFIFOForTies(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	e.At(10*time.Millisecond, func() {
+		times = append(times, e.Now())
+		e.At(5*time.Millisecond, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10*time.Millisecond || times[1] != 15*time.Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10*time.Millisecond, func() { ran++ })
+	e.At(50*time.Millisecond, func() { ran++ })
+	e.RunUntil(20 * time.Millisecond)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if e.Now() != 20*time.Millisecond {
+		t.Errorf("Now = %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if ran != 2 || e.Now() != 50*time.Millisecond {
+		t.Errorf("after Run: ran=%d now=%v", ran, e.Now())
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(-5*time.Millisecond, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Errorf("ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func residential(code string) Endpoint {
+	ct := world.MustByCode(code)
+	return Endpoint{Pos: ct.Centroid, Country: ct, Residential: true}
+}
+
+func datacenter(p geo.Point) Endpoint {
+	return Endpoint{Pos: p}
+}
+
+func TestLatencyGrowsWithDistance(t *testing.T) {
+	m := DefaultLatencyModel()
+	us := datacenter(world.MustByCode("US").Centroid)
+	de := datacenter(world.MustByCode("DE").Centroid)
+	au := datacenter(world.MustByCode("AU").Centroid)
+	nearby := m.MeanOneWay(us, us)
+	mid := m.MeanOneWay(us, de)
+	far := m.MeanOneWay(us, au)
+	if !(nearby < mid && mid < far) {
+		t.Errorf("delays not monotone: %v %v %v", nearby, mid, far)
+	}
+	// Transatlantic one-way should be tens of milliseconds.
+	if mid < 20*time.Millisecond || mid > 120*time.Millisecond {
+		t.Errorf("US-DE one-way = %v, want 20-120 ms", mid)
+	}
+}
+
+func TestLastMilePenaltyByBandwidth(t *testing.T) {
+	m := DefaultLatencyModel()
+	target := datacenter(world.MustByCode("US").Centroid)
+	fast := m.MeanOneWay(residential("SE"), target) // 158 Mbps
+	slow := m.MeanOneWay(residential("TD"), target) // 3 Mbps
+	fastDC := m.MeanOneWay(datacenter(world.MustByCode("SE").Centroid), target)
+	if fast <= fastDC {
+		t.Error("residential endpoint has no last-mile penalty")
+	}
+	// Chad's access penalty alone should add tens of ms over pure
+	// distance; compare against a hypothetical datacenter in Chad.
+	slowDC := m.MeanOneWay(datacenter(world.MustByCode("TD").Centroid), target)
+	if slow-slowDC < 50*time.Millisecond {
+		t.Errorf("Chad last-mile penalty = %v, want >= 50 ms", slow-slowDC)
+	}
+	if fast-fastDC > 20*time.Millisecond {
+		t.Errorf("Sweden last-mile penalty = %v, want <= 20 ms", fast-fastDC)
+	}
+}
+
+func TestJitterIsBoundedAndSeeded(t *testing.T) {
+	m := DefaultLatencyModel()
+	a, b := residential("BR"), datacenter(world.MustByCode("US").Centroid)
+	mean := float64(m.MeanOneWay(a, b))
+
+	rng1 := rand.New(rand.NewSource(7))
+	rng2 := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		d1 := m.OneWay(rng1, a, b)
+		d2 := m.OneWay(rng2, a, b)
+		if d1 != d2 {
+			t.Fatal("same seed produced different delays")
+		}
+		ratio := float64(d1) / mean
+		if ratio < 0.5 || ratio > 2.5 {
+			// Allow the rare loss penalty to push above.
+			if d1 < m.LossPenalty {
+				t.Errorf("jitter ratio %v out of range", ratio)
+			}
+		}
+	}
+}
+
+func TestRTTPropertyNonNegative(t *testing.T) {
+	m := DefaultLatencyModel()
+	rng := rand.New(rand.NewSource(1))
+	countries := world.All()
+	f := func(i, j uint8) bool {
+		a := residential(countries[int(i)%len(countries)].Code)
+		b := residential(countries[int(j)%len(countries)].Code)
+		rtt := m.RTT(rng, a, b)
+		return rtt >= 0 && rtt < 10*time.Second
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkSendDelivers(t *testing.T) {
+	n := NewNetwork(42)
+	var got []string
+	a := &Node{Name: "a", Endpoint: residential("BR")}
+	b := &Node{Name: "b", Endpoint: datacenter(world.MustByCode("US").Centroid),
+		Handler: func(net *Network, msg Message) {
+			got = append(got, msg.Kind)
+			if msg.From.Name != "a" {
+				t.Errorf("From = %v", msg.From)
+			}
+		}}
+	if err := n.AddNode(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode(b); err != nil {
+		t.Fatal(err)
+	}
+	n.Send(a, b, Message{Kind: "ping"})
+	n.Engine.Run()
+	if len(got) != 1 || got[0] != "ping" {
+		t.Fatalf("got = %v", got)
+	}
+	if n.Engine.Now() <= 0 {
+		t.Error("delivery took zero virtual time")
+	}
+	if n.Delivered() != 1 {
+		t.Errorf("Delivered = %d", n.Delivered())
+	}
+}
+
+func TestNetworkDuplicateNodeRejected(t *testing.T) {
+	n := NewNetwork(1)
+	if err := n.AddNode(&Node{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode(&Node{Name: "x"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := n.AddNode(&Node{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, ok := n.Node("x"); !ok {
+		t.Error("Node lookup failed")
+	}
+	if n.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d", n.NumNodes())
+	}
+}
+
+func TestNetworkCallMeasuresRTTPlusService(t *testing.T) {
+	n := NewNetwork(3)
+	n.Model.JitterSigma = 0
+	n.Model.LossProb = 0
+	a := &Node{Name: "client", Endpoint: residential("IT")}
+	b := &Node{Name: "server", Endpoint: datacenter(world.MustByCode("US").Centroid)}
+	service := 25 * time.Millisecond
+	var measured time.Duration
+	n.Call(a, b, service, func(rtt time.Duration) { measured = rtt })
+	n.Engine.Run()
+	want := n.Model.MeanRTT(a.Endpoint, b.Endpoint) + service
+	if measured != want {
+		t.Errorf("Call rtt = %v, want %v", measured, want)
+	}
+	if n.Engine.Now() != want {
+		t.Errorf("virtual time = %v, want %v", n.Engine.Now(), want)
+	}
+}
+
+func TestNetworkDeterministicAcrossRuns(t *testing.T) {
+	run := func() time.Duration {
+		n := NewNetwork(99)
+		a := &Node{Name: "a", Endpoint: residential("NG")}
+		b := &Node{Name: "b", Endpoint: datacenter(world.MustByCode("GB").Centroid)}
+		var total time.Duration
+		for i := 0; i < 50; i++ {
+			n.Call(a, b, 0, func(rtt time.Duration) { total += rtt })
+		}
+		n.Engine.Run()
+		return total
+	}
+	if r1, r2 := run(), run(); r1 != r2 {
+		t.Fatalf("non-deterministic: %v vs %v", r1, r2)
+	}
+}
+
+func TestSendAfterAddsProcessingDelay(t *testing.T) {
+	n := NewNetwork(5)
+	n.Model.JitterSigma = 0
+	n.Model.LossProb = 0
+	a := &Node{Name: "a", Endpoint: datacenter(geo.Point{Lat: 0, Lon: 0})}
+	var deliveredAt time.Duration
+	b := &Node{Name: "b", Endpoint: datacenter(geo.Point{Lat: 0, Lon: 0}),
+		Handler: func(net *Network, msg Message) { deliveredAt = net.Engine.Now() }}
+	n.SendAfter(40*time.Millisecond, a, b, Message{Kind: "x"})
+	n.Engine.Run()
+	oneWay := n.Model.MeanOneWay(a.Endpoint, b.Endpoint)
+	if deliveredAt != 40*time.Millisecond+oneWay {
+		t.Errorf("delivered at %v, want %v", deliveredAt, 40*time.Millisecond+oneWay)
+	}
+}

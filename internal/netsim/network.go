@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Message is an opaque payload traveling between nodes.
+type Message struct {
+	// Kind tags the message for handlers and traces ("dns-query",
+	// "tcp-syn", "tls-client-hello", ...).
+	Kind string
+	// Payload carries arbitrary protocol state.
+	Payload any
+	// From is the sending node.
+	From *Node
+}
+
+// Handler processes a delivered message on a node.
+type Handler func(net *Network, msg Message)
+
+// Node is a participant on the virtual network.
+type Node struct {
+	// Name identifies the node in traces ("exitnode-BR-17",
+	// "cloudflare-pop-GRU").
+	Name string
+	// Endpoint fixes the node's location and access type.
+	Endpoint Endpoint
+	// Handler, when set, receives messages sent to the node.
+	Handler Handler
+}
+
+// String implements fmt.Stringer.
+func (n *Node) String() string { return n.Name }
+
+// Network ties an engine, a latency model, and a seeded RNG together.
+type Network struct {
+	Engine *Engine
+	Model  LatencyModel
+	Rand   *rand.Rand
+
+	nodes map[string]*Node
+	// Trace, when set, receives one line per delivery.
+	Trace func(format string, args ...any)
+
+	delivered uint64
+}
+
+// NewNetwork builds a network with the calibrated default model.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		Engine: NewEngine(),
+		Model:  DefaultLatencyModel(),
+		Rand:   rand.New(rand.NewSource(seed)),
+		nodes:  make(map[string]*Node),
+	}
+}
+
+// AddNode registers a node; names must be unique.
+func (n *Network) AddNode(node *Node) error {
+	if node.Name == "" {
+		return fmt.Errorf("netsim: node with empty name")
+	}
+	if _, dup := n.nodes[node.Name]; dup {
+		return fmt.Errorf("netsim: duplicate node %q", node.Name)
+	}
+	n.nodes[node.Name] = node
+	return nil
+}
+
+// Node returns a registered node by name.
+func (n *Network) Node(name string) (*Node, bool) {
+	node, ok := n.nodes[name]
+	return node, ok
+}
+
+// NumNodes reports the number of registered nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Delivered reports the number of messages delivered so far.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// Send delivers msg from one node to another after a sampled one-way
+// delay, invoking the destination's handler.
+func (n *Network) Send(from, to *Node, msg Message) {
+	msg.From = from
+	delay := n.Model.OneWay(n.Rand, from.Endpoint, to.Endpoint)
+	n.Engine.At(delay, func() {
+		n.delivered++
+		if n.Trace != nil {
+			n.Trace("t=%v %s -> %s: %s", n.Engine.Now(), from.Name, to.Name, msg.Kind)
+		}
+		if to.Handler != nil {
+			to.Handler(n, msg)
+		}
+	})
+}
+
+// SendAfter is Send with an additional processing delay at the sender
+// before the message leaves (service time).
+func (n *Network) SendAfter(processing time.Duration, from, to *Node, msg Message) {
+	msg.From = from
+	delay := processing + n.Model.OneWay(n.Rand, from.Endpoint, to.Endpoint)
+	n.Engine.At(delay, func() {
+		n.delivered++
+		if n.Trace != nil {
+			n.Trace("t=%v %s -> %s: %s", n.Engine.Now(), from.Name, to.Name, msg.Kind)
+		}
+		if to.Handler != nil {
+			to.Handler(n, msg)
+		}
+	})
+}
+
+// Call models a request/response exchange: after one sampled RTT plus
+// the remote service time, done runs. It is the building block for
+// the sequential protocol timelines (TCP handshake, TLS handshake,
+// HTTP exchange) whose sum the measurement client observes.
+func (n *Network) Call(from, to *Node, service time.Duration, done func(rtt time.Duration)) {
+	rtt := n.Model.RTT(n.Rand, from.Endpoint, to.Endpoint) + service
+	n.Engine.At(rtt, func() {
+		n.delivered += 2
+		done(rtt)
+	})
+}

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// DefaultPacketSigma is the default sigma of the small per-packet
+// jitter on an established path. Within one proxy session consecutive
+// packets on the same path see nearly identical delays — which is
+// exactly the stable-RTT assumption the paper's estimator relies on
+// (its validation found errors under 10 ms). Path-to-path variation
+// is governed by LatencyModel.JitterSigma instead.
+const DefaultPacketSigma = 0.010
+
+// Path is a fixed route between two endpoints with a persistent
+// sampled delay factor. Use one Path per (session, endpoint pair) so
+// repeated traversals during a session are strongly correlated.
+type Path struct {
+	mean   time.Duration
+	factor float64
+	model  LatencyModel
+}
+
+// NewPath samples the persistent path factor for the a-b route.
+func (m LatencyModel) NewPath(rng *rand.Rand, a, b Endpoint) Path {
+	factor := 1.0
+	if m.JitterSigma > 0 {
+		factor = math.Exp(m.JitterSigma * rng.NormFloat64())
+	}
+	return Path{mean: m.MeanOneWay(a, b), factor: factor, model: m}
+}
+
+// Mean returns the path's persistent one-way delay (factor applied,
+// packet jitter excluded).
+func (p Path) Mean() time.Duration {
+	return time.Duration(float64(p.mean) * p.factor)
+}
+
+// OneWay samples a single traversal: persistent factor times small
+// per-packet jitter, plus the rare loss penalty.
+func (p Path) OneWay(rng *rand.Rand) time.Duration {
+	d := float64(p.mean) * p.factor
+	if p.model.PacketSigma > 0 {
+		d *= math.Exp(p.model.PacketSigma * rng.NormFloat64())
+	}
+	if p.model.LossProb > 0 && rng.Float64() < p.model.LossProb {
+		d += float64(p.model.LossPenalty)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// RTT samples a round trip on the path.
+func (p Path) RTT(rng *rand.Rand) time.Duration {
+	return p.OneWay(rng) + p.OneWay(rng)
+}

@@ -1,0 +1,95 @@
+package proxynet
+
+import (
+	"testing"
+
+	"repro/internal/anycast"
+)
+
+func TestMeasureDoTBasics(t *testing.T) {
+	sim := NewSim(41)
+	sim.Model.LossProb = 0
+	node, err := sim.SelectExitNode("IT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, ok := 0, 0
+	for i := 0; i < 200; i++ {
+		obs, gt := sim.MeasureDoT(node, anycast.Cloudflare, "t.a.com.")
+		if obs.Blocked {
+			blocked++
+			continue
+		}
+		ok++
+		if gt.TDoT <= 0 || gt.TDoTR <= 0 || gt.TDoTR >= gt.TDoT {
+			t.Fatalf("ground truth = %+v", gt)
+		}
+		if !(obs.TA <= obs.TB && obs.TB <= obs.TC && obs.TC < obs.TD) {
+			t.Fatalf("timestamps out of order: %+v", obs)
+		}
+	}
+	if blocked == 0 {
+		t.Error("no sessions blocked; port-853 filtering must occur")
+	}
+	rate := float64(blocked) / float64(blocked+ok)
+	if rate > 0.12 {
+		t.Errorf("block rate = %.3f, want around %.3f", rate, DoTBlockProb)
+	}
+}
+
+func TestDoTCheaperThanDoHFirstQuery(t *testing.T) {
+	// DoT skips the DoH setup overhead and part of the HTTP service
+	// time; for the same node the median first-query time should not
+	// exceed DoH's.
+	sim := NewSim(42)
+	sim.Model.LossProb = 0
+	node, err := sim.SelectExitNode("DE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dohSum, dotSum float64
+	n := 0
+	for i := 0; i < 60; i++ {
+		_, gtDoH := sim.MeasureDoH(node, anycast.NextDNS, "x.a.com.")
+		obs, gtDoT := sim.MeasureDoT(node, anycast.NextDNS, "x.a.com.")
+		if obs.Blocked {
+			continue
+		}
+		dohSum += float64(gtDoH.TDoH)
+		dotSum += float64(gtDoT.TDoT)
+		n++
+	}
+	if n < 30 {
+		t.Fatalf("only %d unblocked pairs", n)
+	}
+	if dotSum >= dohSum {
+		t.Errorf("DoT mean %.1f >= DoH mean %.1f for NextDNS (DoT must skip the setup overhead)",
+			dotSum/float64(n)/1e6, dohSum/float64(n)/1e6)
+	}
+}
+
+func TestTLS12AddsARoundTrip(t *testing.T) {
+	meanDoH := func(tls12 bool) float64 {
+		sim := NewSim(43)
+		sim.Model.JitterSigma = 0
+		sim.Model.PacketSigma = 0
+		sim.Model.LossProb = 0
+		sim.TLS12 = tls12
+		node, err := sim.SelectExitNode("BR")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gt := sim.MeasureDoH(node, anycast.Cloudflare, "x.a.com.")
+		return float64(gt.TDoH)
+	}
+	v13 := meanDoH(false)
+	v12 := meanDoH(true)
+	if v12 <= v13 {
+		t.Fatalf("TLS1.2 DoH (%f) not slower than TLS1.3 (%f)", v12, v13)
+	}
+	// The difference is one exit<->PoP round trip.
+	extra := v12 - v13
+	if extra <= 0 || extra > v13 {
+		t.Errorf("extra = %f, implausible for one RTT", extra)
+	}
+}

@@ -1,0 +1,429 @@
+package proxynet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/anycast"
+	"repro/internal/geo"
+	"repro/internal/geoip"
+	"repro/internal/netsim"
+	"repro/internal/world"
+)
+
+// Sim is the simulated proxy network: a measurement client and lab
+// servers in the US, Super Proxies in the 11 countries BrightData
+// operates them, and on-demand residential exit nodes everywhere.
+type Sim struct {
+	// Model is the latency model shared by every session.
+	Model netsim.LatencyModel
+	// Rand drives all sampling; campaigns are reproducible by seed.
+	Rand *rand.Rand
+	// Providers is the DoH provider catalogue.
+	Providers map[anycast.ProviderID]*anycast.Provider
+	// Lab hosts the measurement client, the web server, and the
+	// authoritative name server (the paper colocated all three in the
+	// US).
+	Lab netsim.Endpoint
+	// Alloc assigns synthetic exit-node addresses.
+	Alloc *geoip.Allocator
+	// TLS12, when set, negotiates TLS 1.2 instead of 1.3 for DoH/DoT
+	// sessions: session establishment costs a second round trip
+	// (RFC 8446 vs RFC 5246), the slowdown the paper's limitations
+	// section predicts for legacy clients.
+	TLS12 bool
+
+	superProxies []netsim.Endpoint
+	superCodes   []string
+	exitCounter  int
+}
+
+// labPosition approximates the paper's US deployment (us-east).
+var labPosition = geo.Point{Lat: 39.04, Lon: -77.49}
+
+// NewSim constructs the simulated network with the calibrated default
+// latency model and the standard provider catalogue.
+func NewSim(seed int64) *Sim {
+	s := &Sim{
+		Model:     netsim.DefaultLatencyModel(),
+		Rand:      rand.New(rand.NewSource(seed)),
+		Providers: anycast.Catalogue(),
+		Lab:       netsim.Endpoint{Pos: labPosition, Country: world.MustByCode("US")},
+		Alloc:     geoip.NewAllocator(0),
+	}
+	for _, ct := range world.SuperProxyCountries() {
+		s.superProxies = append(s.superProxies, netsim.Endpoint{
+			Pos: ct.Centroid, Country: ct,
+		})
+		s.superCodes = append(s.superCodes, ct.Code)
+	}
+	return s
+}
+
+// ExitNode is one residential vantage point, alive for the duration of
+// a measurement run (the paper issues several requests per exit node).
+type ExitNode struct {
+	// ID is the Super Proxy's stable identifier for the node; the
+	// paper counts unique clients by it.
+	ID string
+	// Country is where the node actually is.
+	Country world.Country
+	// Addr is the node's synthetic address; analyses use its /24.
+	Addr netip.Addr
+	// Pos is the node's location (scattered around the country).
+	Pos geo.Point
+	// Endpoint is the node's network attachment (residential).
+	Endpoint netsim.Endpoint
+	// ResolverEndpoint is the ISP default resolver the node's OS
+	// points at.
+	ResolverEndpoint netsim.Endpoint
+	// ResolverOverhead is this client's ISP resolver processing
+	// latency: the country's typical overhead scaled by a per-client
+	// lognormal factor. ISP resolver quality varies wildly between
+	// providers within a country — this heterogeneity is what makes
+	// ~19% of the paper's clients *faster* on DoH even at the first
+	// query (their default resolver is simply bad).
+	ResolverOverhead time.Duration
+	// super is the Super Proxy serving this node (the nearest one).
+	super      netsim.Endpoint
+	superCode  string
+	popChoices map[anycast.ProviderID]anycast.PoP
+}
+
+// resolverOverheadMedianShift and resolverOverheadSigma parameterize
+// the per-client lognormal spread of ISP resolver quality, and a
+// brokenResolverProb fraction of clients sit behind pathological
+// default resolvers (overloaded, lossy, or very distant) that add
+// hundreds of milliseconds. These clients are the population for whom
+// switching to DoH is a win even on the first query — the paper found
+// 19.1% of clients sped up at DoH1.
+const (
+	resolverOverheadMedianShift = 0.0
+	resolverOverheadSigma       = 0.85
+	brokenResolverProb          = 0.14
+	brokenResolverMinMs         = 220
+	brokenResolverMaxMs         = 950
+)
+
+// SuperProxyCountry returns the country code of the Super Proxy
+// serving this exit node.
+func (e *ExitNode) SuperProxyCountry() string { return e.superCode }
+
+// SelectExitNode asks the Super Proxy for a fresh exit node in the
+// given country, as the paper does per measurement run.
+func (s *Sim) SelectExitNode(countryCode string) (*ExitNode, error) {
+	ct, ok := world.ByCode(countryCode)
+	if !ok {
+		return nil, fmt.Errorf("proxynet: unknown country %q", countryCode)
+	}
+	addr, err := s.Alloc.Next(countryCode)
+	if err != nil {
+		return nil, err
+	}
+	s.exitCounter++
+	pos := geo.Jitter(ct.Centroid, 420, s.Rand.Float64(), s.Rand.Float64())
+	resolverPos := geo.Jitter(ct.Centroid, 120, s.Rand.Float64(), s.Rand.Float64())
+	node := &ExitNode{
+		ID:      fmt.Sprintf("exit-%s-%06d", countryCode, s.exitCounter),
+		Country: ct,
+		Addr:    addr,
+		Pos:     pos,
+		Endpoint: netsim.Endpoint{
+			Pos: pos, Country: ct, Residential: true,
+		},
+		ResolverEndpoint: netsim.Endpoint{Pos: resolverPos, Country: ct},
+		ResolverOverhead: time.Duration(ct.ResolverOverheadMs *
+			math.Exp(resolverOverheadMedianShift+resolverOverheadSigma*s.Rand.NormFloat64()) *
+			float64(time.Millisecond)),
+		popChoices: make(map[anycast.ProviderID]anycast.PoP),
+	}
+	if s.Rand.Float64() < brokenResolverProb {
+		extra := brokenResolverMinMs + s.Rand.Float64()*(brokenResolverMaxMs-brokenResolverMinMs)
+		node.ResolverOverhead += time.Duration(extra * float64(time.Millisecond))
+	}
+	// The Super Proxy serving a client is the nearest of the 11.
+	pts := make([]geo.Point, len(s.superProxies))
+	for i, sp := range s.superProxies {
+		pts[i] = sp.Pos
+	}
+	idx, _ := geo.Nearest(pos, pts)
+	node.super = s.superProxies[idx]
+	node.superCode = s.superCodes[idx]
+	return node, nil
+}
+
+// PlantGroundTruthNode provisions a controlled exit node for the
+// Section-4 validation experiments — the equivalent of the paper's
+// EC2 machines volunteered into the proxy network. It sits at the
+// same kind of vantage point as a regular exit node but runs a clean
+// datacenter-grade resolver configuration (AWS-style local DNS)
+// instead of a random residential ISP resolver.
+func (s *Sim) PlantGroundTruthNode(countryCode string) (*ExitNode, error) {
+	node, err := s.SelectExitNode(countryCode)
+	if err != nil {
+		return nil, err
+	}
+	node.ResolverOverhead = 3 * time.Millisecond
+	return node, nil
+}
+
+// PoPFor returns (and fixes, for session consistency) the anycast PoP
+// this exit node reaches for the given provider.
+func (s *Sim) PoPFor(node *ExitNode, pid anycast.ProviderID) anycast.PoP {
+	if pop, ok := node.popChoices[pid]; ok {
+		return pop
+	}
+	pop := s.Providers[pid].AssignPoP(s.Rand, node.Pos)
+	node.popChoices[pid] = pop
+	return pop
+}
+
+// DoHObservation is everything the measurement client can see for one
+// DoH measurement: its four local timestamps plus the Super Proxy's
+// headers. The estimator in internal/core consumes exactly this.
+type DoHObservation struct {
+	// TA..TD are the paper's four client-side timestamps, as virtual
+	// times within the session.
+	TA, TB, TC, TD time.Duration
+	// Tun is the X-Luminati-Tun-Timeline header (DNS = t3+t4,
+	// Connect = t5+t6).
+	Tun TunTimeline
+	// Proxy is the X-Luminati-Timeline header (t_BrightData parts).
+	Proxy ProxyTimeline
+	// Provider identifies the DoH service measured.
+	Provider anycast.ProviderID
+	// QueryName is the unique cache-busting subdomain used.
+	QueryName string
+}
+
+// DoHGroundTruth is what only the simulator (or the paper's planted
+// EC2 exit nodes) can know: the exact per-step durations.
+type DoHGroundTruth struct {
+	// Steps holds t1..t22 at indexes 1..22 (index 0 unused).
+	Steps [23]time.Duration
+	// TDoH is the true DoH resolution time (Equation 1).
+	TDoH time.Duration
+	// TDoHR is the true reused-connection query time (t17+..+t20).
+	TDoHR time.Duration
+	// PoP is the point of presence that served the query.
+	PoP anycast.PoP
+	// PoPDistanceKm is the exit-to-PoP geodesic distance.
+	PoPDistanceKm float64
+	// NearestPoPDistanceKm is the distance to the provider's closest
+	// PoP (for the potential-improvement analysis).
+	NearestPoPDistanceKm float64
+}
+
+// sampleProxyTimeline draws the Super Proxy's internal processing
+// costs for a new tunnel.
+func (s *Sim) sampleProxyTimeline() ProxyTimeline {
+	u := func(lo, hi float64) time.Duration {
+		return time.Duration((lo + s.Rand.Float64()*(hi-lo)) * float64(time.Millisecond))
+	}
+	return ProxyTimeline{
+		Auth:       u(2, 8),
+		Init:       u(1, 5),
+		SelectExit: u(4, 18),
+		Validate:   u(0.5, 3),
+	}
+}
+
+// MeasureDoH runs one full DoH measurement through the proxy network
+// on a fresh virtual-time session, returning both the client-side
+// observation and the simulator's ground truth.
+//
+// The 22 steps follow the paper's Figure 2:
+//
+//	1-2   CONNECT: client -> Super Proxy -> exit (plus t_BrightData)
+//	3-4   exit resolves the DoH server's hostname via its ISP resolver
+//	5-6   exit TCP handshake with the DoH PoP
+//	7-8   tunnel established: exit -> Super Proxy -> client ("200 OK")
+//	9-10  ClientHello: client -> Super Proxy -> exit
+//	11-12 TLS 1.3 handshake round trip: exit <-> PoP
+//	13-14 ServerHello back: exit -> Super Proxy -> client
+//	15-16 Finished + HTTP GET: client -> Super Proxy -> exit
+//	17    request: exit -> PoP
+//	18-19 recursion: PoP <-> authoritative name server (cache miss)
+//	20    response: PoP -> exit
+//	21-22 response: exit -> Super Proxy -> client
+func (s *Sim) MeasureDoH(node *ExitNode, pid anycast.ProviderID, queryName string) (DoHObservation, DoHGroundTruth) {
+	provider := s.Providers[pid]
+	pop := s.PoPFor(node, pid)
+	popEndpoint := netsim.Endpoint{Pos: pop.Pos, Country: world.MustByCode(pop.CountryCode)}
+
+	// Session-persistent paths: consecutive packets on the same route
+	// are strongly correlated (Assumption 1 of the paper).
+	pathCS := s.Model.NewPath(s.Rand, s.Lab, node.super)         // client <-> Super Proxy
+	pathSE := s.Model.NewPath(s.Rand, node.super, node.Endpoint) // Super Proxy <-> exit
+	pathER := s.Model.NewPath(s.Rand, node.Endpoint, node.ResolverEndpoint)
+	pathEP := s.Model.NewPath(s.Rand, node.Endpoint, popEndpoint) // exit <-> PoP
+	pathPA := s.Model.NewPath(s.Rand, popEndpoint, s.Lab)         // PoP <-> auth NS
+
+	var gt DoHGroundTruth
+	gt.PoP = pop
+	gt.PoPDistanceKm = geo.DistanceKm(node.Pos, pop.Pos)
+	_, gt.NearestPoPDistanceKm = provider.NearestPoP(node.Pos)
+
+	proxy := s.sampleProxyTimeline()
+
+	eng := netsim.NewEngine()
+	var obs DoHObservation
+	obs.Provider = pid
+	obs.QueryName = queryName
+	obs.Proxy = proxy
+
+	step := func(i int, d time.Duration) time.Duration {
+		gt.Steps[i] = d
+		return d
+	}
+
+	// The ISP resolver almost certainly has the DoH server's hostname
+	// cached (it is a popular name), so t3+t4 is one resolver RTT
+	// plus a sliver of its processing overhead.
+	resolverSvc := time.Duration(0.3 * float64(node.ResolverOverhead))
+	// TLS and HTTP processing costs at the PoP.
+	tlsCompute := time.Millisecond
+	authSvc := 400 * time.Microsecond
+
+	// --- Phase 1: establish the tunnel (steps 1-8). T_A .. T_B ---
+	obs.TA = eng.Now() // zero
+	eng.At(step(1, pathCS.OneWay(s.Rand))+proxy.Auth+proxy.Init+proxy.SelectExit+proxy.Validate, func() {
+		eng.At(step(2, pathSE.OneWay(s.Rand)), func() {
+			t3 := pathER.OneWay(s.Rand)
+			t4 := pathER.OneWay(s.Rand) + resolverSvc
+			step(3, t3)
+			step(4, t4)
+			eng.At(t3+t4, func() {
+				t5 := pathEP.OneWay(s.Rand)
+				t6 := pathEP.OneWay(s.Rand) + provider.SetupOverhead/2
+				step(5, t5)
+				step(6, t6)
+				obs.Tun = TunTimeline{DNS: t3 + t4, Connect: t5 + t6}
+				eng.At(t5+t6, func() {
+					eng.At(step(7, pathSE.OneWay(s.Rand)), func() {
+						eng.At(step(8, pathCS.OneWay(s.Rand)), func() {
+							obs.TB = eng.Now()
+						})
+					})
+				})
+			})
+		})
+	})
+	eng.Run()
+
+	// --- Phase 2: TLS handshake (steps 9-14). T_C .. ---
+	obs.TC = obs.TB // the client fires the ClientHello immediately
+	eng.At(step(9, pathCS.OneWay(s.Rand)), func() {
+		eng.At(step(10, pathSE.OneWay(s.Rand)), func() {
+			t11 := pathEP.OneWay(s.Rand)
+			t12 := pathEP.OneWay(s.Rand) + tlsCompute + provider.SetupOverhead/2
+			if s.TLS12 {
+				// TLS 1.2 needs a second full round trip before the
+				// session is usable.
+				t11 += pathEP.OneWay(s.Rand)
+				t12 += pathEP.OneWay(s.Rand)
+			}
+			step(11, t11)
+			step(12, t12)
+			eng.At(t11+t12, func() {
+				eng.At(step(13, pathSE.OneWay(s.Rand)), func() {
+					eng.At(step(14, pathCS.OneWay(s.Rand)), func() {
+						// --- Phase 3: request (steps 15-22) ---
+						eng.At(step(15, pathCS.OneWay(s.Rand)), func() {
+							eng.At(step(16, pathSE.OneWay(s.Rand)), func() {
+								eng.At(step(17, pathEP.OneWay(s.Rand)), func() {
+									t18 := provider.ServiceTime + pathPA.OneWay(s.Rand)
+									t19 := pathPA.OneWay(s.Rand) + authSvc
+									step(18, t18)
+									step(19, t19)
+									eng.At(t18+t19, func() {
+										eng.At(step(20, pathEP.OneWay(s.Rand)), func() {
+											eng.At(step(21, pathSE.OneWay(s.Rand)), func() {
+												eng.At(step(22, pathCS.OneWay(s.Rand)), func() {
+													obs.TD = eng.Now()
+												})
+											})
+										})
+									})
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+	eng.Run()
+
+	gt.TDoH = gt.Steps[3] + gt.Steps[4] + gt.Steps[5] + gt.Steps[6] +
+		gt.Steps[11] + gt.Steps[12] +
+		gt.Steps[17] + gt.Steps[18] + gt.Steps[19] + gt.Steps[20]
+	gt.TDoHR = gt.Steps[17] + gt.Steps[18] + gt.Steps[19] + gt.Steps[20]
+	return obs, gt
+}
+
+// Do53Observation is the client-visible outcome of a Do53 measurement
+// (the exit node fetching http://<uuid>.a.com/ so that its default
+// resolver performs the lookup).
+type Do53Observation struct {
+	// Tun carries the header DNS value. In the 11 Super-Proxy
+	// countries this reflects the Super Proxy's resolver, not the
+	// exit's (paper §3.5).
+	Tun TunTimeline
+	// Proxy is the tunnel-establishment timeline.
+	Proxy ProxyTimeline
+	// ViaSuperProxy reports whether the Super Proxy performed the
+	// resolution itself, invalidating the measurement.
+	ViaSuperProxy bool
+	// QueryName is the unique subdomain fetched.
+	QueryName string
+}
+
+// Do53GroundTruth is the true Do53 resolution time at the exit node.
+type Do53GroundTruth struct {
+	// TDo53 is the exit node's actual cache-miss resolution time via
+	// its default resolver.
+	TDo53 time.Duration
+}
+
+// MeasureDo53 runs one Do53 measurement. The true resolution time is
+// exit <-> ISP resolver plus the resolver's cache-miss recursion to
+// our authoritative server, plus the resolver's own processing
+// overhead (the paper's "default configuration" performance).
+func (s *Sim) MeasureDo53(node *ExitNode, queryName string) (Do53Observation, Do53GroundTruth) {
+	pathER := s.Model.NewPath(s.Rand, node.Endpoint, node.ResolverEndpoint)
+	pathRA := s.Model.NewPath(s.Rand, node.ResolverEndpoint, s.Lab)
+
+	authSvc := 400 * time.Microsecond
+	trueDo53 := pathER.RTT(s.Rand) + node.ResolverOverhead + pathRA.RTT(s.Rand) + authSvc
+
+	obs := Do53Observation{
+		Proxy:     s.sampleProxyTimeline(),
+		QueryName: queryName,
+	}
+	gt := Do53GroundTruth{TDo53: trueDo53}
+
+	if world.IsSuperProxyCountry(node.Country.Code) {
+		// The Super Proxy resolves the name itself: the header value
+		// reflects a datacenter resolver colocated with the Super
+		// Proxy — useless for the exit node's Do53 performance.
+		spResolver := netsim.Endpoint{Pos: node.super.Pos, Country: node.super.Country}
+		pathSR := s.Model.NewPath(s.Rand, node.super, spResolver)
+		pathRL := s.Model.NewPath(s.Rand, spResolver, s.Lab)
+		obs.Tun = TunTimeline{
+			DNS:     pathSR.RTT(s.Rand) + pathRL.RTT(s.Rand) + 2*time.Millisecond,
+			Connect: s.Model.NewPath(s.Rand, node.super, s.Lab).RTT(s.Rand),
+		}
+		obs.ViaSuperProxy = true
+		return obs, gt
+	}
+
+	obs.Tun = TunTimeline{
+		DNS:     trueDo53,
+		Connect: s.Model.NewPath(s.Rand, node.Endpoint, s.Lab).RTT(s.Rand),
+	}
+	return obs, gt
+}

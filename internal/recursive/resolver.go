@@ -1,0 +1,275 @@
+package recursive
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dnsclient"
+	"repro/internal/dnswire"
+)
+
+// Upstream answers queries on behalf of the resolver. Implementations
+// include real authoritative servers reached over UDP (SocketUpstream)
+// and virtual-network authoritative nodes in the simulator.
+type Upstream interface {
+	// Resolve returns the authoritative response for q.
+	Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error)
+}
+
+// UpstreamFunc adapts a function to the Upstream interface.
+type UpstreamFunc func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error)
+
+// Resolve implements Upstream.
+func (f UpstreamFunc) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	return f(ctx, q)
+}
+
+// SocketUpstream forwards queries to a fixed authoritative address
+// over UDP/TCP.
+type SocketUpstream struct {
+	Addr   string
+	Client dnsclient.Client
+}
+
+// Resolve implements Upstream.
+func (u *SocketUpstream) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	resp, _, err := u.Client.Exchange(ctx, u.Addr, q)
+	return resp, err
+}
+
+// ErrNoUpstream is returned when no upstream covers a query.
+var ErrNoUpstream = errors.New("recursive: no upstream for query")
+
+// Resolver is a caching recursive resolver. Zones map suffixes to
+// upstreams (the longest matching suffix wins); Default handles
+// everything else. Concurrent cache misses for the same (name, type)
+// are deduplicated: one upstream query runs, everyone shares the
+// answer — the query-coalescing behaviour production resolvers use to
+// survive request storms.
+type Resolver struct {
+	cache           *Cache
+	mu              sync.RWMutex
+	zones           map[dnswire.Name]Upstream
+	defaultUpstream Upstream
+
+	flightMu sync.Mutex
+	inflight map[flightKey]*flight
+
+	// QueryDelay, when set, is invoked once per cache miss and may
+	// inject artificial latency (virtual-network mode).
+	QueryDelay func(ctx context.Context) error
+}
+
+// flightKey identifies one deduplicated upstream resolution.
+type flightKey struct {
+	name dnswire.Name
+	typ  dnswire.Type
+}
+
+// flight is one in-progress upstream resolution shared by waiters.
+type flight struct {
+	done chan struct{}
+	resp *dnswire.Message
+	err  error
+}
+
+// New creates a resolver with the given cache (nil for a default one).
+func New(cache *Cache) *Resolver {
+	if cache == nil {
+		cache = NewCache(0, nil)
+	}
+	return &Resolver{
+		cache:    cache,
+		zones:    make(map[dnswire.Name]Upstream),
+		inflight: make(map[flightKey]*flight),
+	}
+}
+
+// Cache exposes the resolver's cache for inspection.
+func (r *Resolver) Cache() *Cache { return r.cache }
+
+// AddZone routes queries under suffix to up.
+func (r *Resolver) AddZone(suffix dnswire.Name, up Upstream) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.zones[suffix.Canonical()] = up
+}
+
+// SetDefault routes unmatched queries to up.
+func (r *Resolver) SetDefault(up Upstream) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.defaultUpstream = up
+}
+
+func (r *Resolver) upstreamFor(name dnswire.Name) Upstream {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	best := r.defaultUpstream
+	bestLabels := -1
+	for suffix, up := range r.zones {
+		if name.IsSubdomainOf(suffix) {
+			if n := len(suffix.Labels()); n > bestLabels {
+				best, bestLabels = up, n
+			}
+		}
+	}
+	return best
+}
+
+// Resolve answers q, consulting the cache first. It is safe for
+// concurrent use.
+func (r *Resolver) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	if len(q.Questions) == 0 {
+		return nil, errors.New("recursive: query has no question")
+	}
+	question := q.Questions[0]
+	if cached := r.cache.Get(question.Name, question.Type); cached != nil {
+		resp := *cached
+		resp.Header.ID = q.Header.ID
+		resp.Header.RecursionDesired = q.Header.RecursionDesired
+		resp.Header.RecursionAvailable = true
+		return &resp, nil
+	}
+	up := r.upstreamFor(question.Name)
+	if up == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoUpstream, question.Name)
+	}
+
+	// Coalesce concurrent misses for the same question.
+	key := flightKey{question.Name.Canonical(), question.Type}
+	r.flightMu.Lock()
+	if f, ok := r.inflight[key]; ok {
+		r.flightMu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if f.err != nil {
+			return nil, f.err
+		}
+		return tailorResponse(f.resp, q), nil
+	}
+	f := &flight{done: make(chan struct{})}
+	r.inflight[key] = f
+	r.flightMu.Unlock()
+
+	f.resp, f.err = r.resolveMiss(ctx, up, q)
+	r.flightMu.Lock()
+	delete(r.inflight, key)
+	r.flightMu.Unlock()
+	close(f.done)
+
+	if f.err != nil {
+		return nil, f.err
+	}
+	return tailorResponse(f.resp, q), nil
+}
+
+// resolveMiss performs the actual upstream resolution and caches it.
+func (r *Resolver) resolveMiss(ctx context.Context, up Upstream, q *dnswire.Message) (*dnswire.Message, error) {
+	if r.QueryDelay != nil {
+		if err := r.QueryDelay(ctx); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := up.Resolve(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	resp.Header.RecursionAvailable = true
+	resp.Header.Authoritative = false
+	question := q.Questions[0]
+	if resp.Header.RCode == dnswire.RCodeNoError || resp.Header.RCode == dnswire.RCodeNXDomain {
+		r.cache.Put(question.Name, question.Type, resp)
+	}
+	return resp, nil
+}
+
+// tailorResponse stamps a shared response with one waiter's identity.
+func tailorResponse(shared *dnswire.Message, q *dnswire.Message) *dnswire.Message {
+	resp := *shared
+	resp.Header.ID = q.Header.ID
+	resp.Header.RecursionDesired = q.Header.RecursionDesired
+	return &resp
+}
+
+// Server exposes a Resolver over UDP, acting as the "default resolver"
+// an exit node's operating system points at.
+type Server struct {
+	Resolver *Resolver
+
+	udp *net.UDPConn
+	wg  sync.WaitGroup
+}
+
+// NewServer wraps r in a UDP server.
+func NewServer(r *Resolver) *Server { return &Server{Resolver: r} }
+
+// ListenAndServe binds addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	s.udp, err = net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return err
+	}
+	s.wg.Add(1)
+	go s.serve()
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.udp.LocalAddr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	err := s.udp.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, src, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			q, err := dnswire.Unpack(pkt)
+			if err != nil || q.Header.Response || len(q.Questions) == 0 {
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			resp, err := s.Resolver.Resolve(ctx, q)
+			if err != nil {
+				resp = q.Reply()
+				resp.Header.RCode = dnswire.RCodeServFail
+				resp.Header.RecursionAvailable = true
+			}
+			limited, err := resp.Truncate(dnswire.MaxUDPPayload)
+			if err != nil {
+				return
+			}
+			wire, err := limited.Pack()
+			if err != nil {
+				return
+			}
+			s.udp.WriteToUDP(wire, src)
+		}()
+	}
+}

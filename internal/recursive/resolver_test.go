@@ -1,0 +1,386 @@
+package recursive
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/authserver"
+	"repro/internal/dnsclient"
+	"repro/internal/dnswire"
+)
+
+func answer(name dnswire.Name, ttl uint32) *dnswire.Message {
+	m := dnswire.NewQuery(1, name, dnswire.TypeA).Reply()
+	m.Answers = append(m.Answers, dnswire.ResourceRecord{
+		Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: ttl,
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("192.0.2.7")},
+	})
+	return m
+}
+
+func TestCachePutGet(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := NewCache(0, func() time.Time { return now })
+	if got := c.Get("x.a.com.", dnswire.TypeA); got != nil {
+		t.Fatal("empty cache returned an entry")
+	}
+	c.Put("x.a.com.", dnswire.TypeA, answer("x.a.com.", 60))
+	got := c.Get("X.A.COM.", dnswire.TypeA) // case-insensitive key
+	if got == nil {
+		t.Fatal("cache miss after Put")
+	}
+	if got.Answers[0].TTL != 60 {
+		t.Errorf("TTL = %d", got.Answers[0].TTL)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestCacheExpiryAndTTLAging(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := NewCache(0, func() time.Time { return now })
+	c.Put("x.a.com.", dnswire.TypeA, answer("x.a.com.", 60))
+
+	now = now.Add(25 * time.Second)
+	got := c.Get("x.a.com.", dnswire.TypeA)
+	if got == nil {
+		t.Fatal("expired too early")
+	}
+	if got.Answers[0].TTL != 35 {
+		t.Errorf("aged TTL = %d, want 35", got.Answers[0].TTL)
+	}
+
+	now = now.Add(36 * time.Second)
+	if got := c.Get("x.a.com.", dnswire.TypeA); got != nil {
+		t.Fatal("entry survived past its TTL")
+	}
+}
+
+func TestCacheNegativeUsesSOAMinimum(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := NewCache(0, func() time.Time { return now })
+	neg := dnswire.NewQuery(1, "gone.a.com.", dnswire.TypeA).Reply()
+	neg.Header.RCode = dnswire.RCodeNXDomain
+	neg.Authorities = append(neg.Authorities, dnswire.ResourceRecord{
+		Name: "a.com.", Type: dnswire.TypeSOA, Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.SOARecord{MName: "ns1.a.com.", RName: "h.a.com.", Minimum: 30},
+	})
+	c.Put("gone.a.com.", dnswire.TypeA, neg)
+	if c.Get("gone.a.com.", dnswire.TypeA) == nil {
+		t.Fatal("negative answer not cached")
+	}
+	now = now.Add(31 * time.Second)
+	if c.Get("gone.a.com.", dnswire.TypeA) != nil {
+		t.Fatal("negative entry outlived SOA minimum")
+	}
+}
+
+func TestCacheSkipsUncacheable(t *testing.T) {
+	c := NewCache(0, nil)
+	empty := dnswire.NewQuery(1, "e.a.com.", dnswire.TypeA).Reply()
+	c.Put("e.a.com.", dnswire.TypeA, empty) // no answers, no SOA
+	if c.Len() != 0 {
+		t.Error("cached a message with no TTL source")
+	}
+	zero := answer("z.a.com.", 0)
+	c.Put("z.a.com.", dnswire.TypeA, zero)
+	if c.Len() != 0 {
+		t.Error("cached a TTL-0 answer")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := NewCache(3, func() time.Time { return now })
+	for _, n := range []dnswire.Name{"a.z.", "b.z.", "c.z."} {
+		c.Put(n, dnswire.TypeA, answer(n, 60))
+	}
+	c.Get("a.z.", dnswire.TypeA) // refresh a.z.
+	c.Put("d.z.", dnswire.TypeA, answer("d.z.", 60))
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if c.Get("b.z.", dnswire.TypeA) != nil {
+		t.Error("LRU entry b.z. not evicted")
+	}
+	if c.Get("a.z.", dnswire.TypeA) == nil {
+		t.Error("recently used a.z. was evicted")
+	}
+}
+
+func TestResolverCachesUpstreamAnswers(t *testing.T) {
+	var calls atomic.Int32
+	up := UpstreamFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		calls.Add(1)
+		return answer(q.Questions[0].Name, 300), nil
+	})
+	r := New(nil)
+	r.SetDefault(up)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		q := dnswire.NewQuery(uint16(i), "cached.a.com.", dnswire.TypeA)
+		resp, err := r.Resolve(ctx, q)
+		if err != nil {
+			t.Fatalf("Resolve: %v", err)
+		}
+		if resp.Header.ID != uint16(i) {
+			t.Errorf("response ID = %d, want %d (must mirror the query)", resp.Header.ID, i)
+		}
+		if !resp.Header.RecursionAvailable {
+			t.Error("RA not set")
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("upstream called %d times, want 1 (rest served from cache)", calls.Load())
+	}
+}
+
+func TestResolverUniqueNamesBypassCache(t *testing.T) {
+	// The paper's methodology: every query uses a fresh UUID label so
+	// every resolution is a cache miss.
+	var calls atomic.Int32
+	up := UpstreamFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		calls.Add(1)
+		return answer(q.Questions[0].Name, 300), nil
+	})
+	r := New(nil)
+	r.SetDefault(up)
+	for i := 0; i < 10; i++ {
+		name := dnswire.NewName(string(rune('a'+i)) + "-uuid.a.com")
+		if _, err := r.Resolve(context.Background(), dnswire.NewQuery(1, name, dnswire.TypeA)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 10 {
+		t.Errorf("upstream calls = %d, want 10 (unique names must all miss)", calls.Load())
+	}
+}
+
+func TestResolverLongestSuffixWins(t *testing.T) {
+	mk := func(tag string) Upstream {
+		return UpstreamFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+			m := q.Reply()
+			m.Answers = append(m.Answers, dnswire.ResourceRecord{
+				Name: q.Questions[0].Name, Type: dnswire.TypeTXT, Class: dnswire.ClassIN, TTL: 1,
+				Data: dnswire.TXTRecord{Strings: []string{tag}},
+			})
+			return m, nil
+		})
+	}
+	r := New(nil)
+	r.SetDefault(mk("default"))
+	r.AddZone("com.", mk("com"))
+	r.AddZone("a.com.", mk("a.com"))
+
+	cases := []struct {
+		name dnswire.Name
+		want string
+	}{
+		{"x.a.com.", "a.com"},
+		{"x.b.com.", "com"},
+		{"x.org.", "default"},
+	}
+	for _, tc := range cases {
+		resp, err := r.Resolve(context.Background(), dnswire.NewQuery(1, tc.name, dnswire.TypeTXT))
+		if err != nil {
+			t.Fatalf("Resolve(%s): %v", tc.name, err)
+		}
+		got := resp.Answers[0].Data.(dnswire.TXTRecord).Strings[0]
+		if got != tc.want {
+			t.Errorf("Resolve(%s) routed to %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestResolverNoUpstream(t *testing.T) {
+	r := New(nil)
+	_, err := r.Resolve(context.Background(), dnswire.NewQuery(1, "x.", dnswire.TypeA))
+	if err == nil {
+		t.Fatal("Resolve succeeded with no upstream")
+	}
+}
+
+func TestResolverServerOverUDPWithRealAuth(t *testing.T) {
+	// Full chain: stub client -> recursive server -> authoritative server.
+	zone := authserver.NewZone("a.com.")
+	if err := zone.SetSOA("ns1.a.com.", "h.a.com.", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := zone.Add(dnswire.ResourceRecord{Name: "*.a.com.", TTL: 60,
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("198.51.100.80")}}); err != nil {
+		t.Fatal(err)
+	}
+	auth := authserver.NewServer(zone)
+	if err := auth.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer auth.Close()
+
+	r := New(nil)
+	r.AddZone("a.com.", &SocketUpstream{Addr: auth.Addr()})
+	srv := NewServer(r)
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var c dnsclient.Client
+	resp, _, err := c.Query(context.Background(), srv.Addr(), "uuid-1234.a.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if resp.Header.RCode != dnswire.RCodeNoError || len(resp.Answers) != 1 {
+		t.Fatalf("response = %v", resp)
+	}
+	if !resp.Header.RecursionAvailable {
+		t.Error("RA not set by recursive server")
+	}
+	if resp.Header.Authoritative {
+		t.Error("recursive answer must not be authoritative")
+	}
+
+	// Second query for the same name: served from cache, no new
+	// queries at the authoritative server.
+	before := len(auth.QueryLog())
+	if _, _, err := c.Query(context.Background(), srv.Addr(), "uuid-1234.a.com.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(auth.QueryLog()); after != before {
+		t.Errorf("authoritative saw %d new queries, want 0 (cache hit)", after-before)
+	}
+}
+
+func TestResolverServFailOnUpstreamError(t *testing.T) {
+	r := New(nil)
+	r.SetDefault(UpstreamFunc(func(context.Context, *dnswire.Message) (*dnswire.Message, error) {
+		return nil, context.DeadlineExceeded
+	}))
+	srv := NewServer(r)
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var c dnsclient.Client
+	resp, _, err := c.Query(context.Background(), srv.Addr(), "x.fail.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if resp.Header.RCode != dnswire.RCodeServFail {
+		t.Errorf("rcode = %v, want SERVFAIL", resp.Header.RCode)
+	}
+}
+
+func TestQueryDelayHookRuns(t *testing.T) {
+	var delayed atomic.Int32
+	r := New(nil)
+	r.SetDefault(UpstreamFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		return answer(q.Questions[0].Name, 60), nil
+	}))
+	r.QueryDelay = func(context.Context) error {
+		delayed.Add(1)
+		return nil
+	}
+	// First resolve: miss -> delay. Second: hit -> no delay.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Resolve(context.Background(), dnswire.NewQuery(1, "d.a.com.", dnswire.TypeA)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delayed.Load() != 1 {
+		t.Errorf("delay hook ran %d times, want 1 (only on cache miss)", delayed.Load())
+	}
+}
+
+func TestConcurrentMissesCoalesced(t *testing.T) {
+	// Many goroutines miss on the same name simultaneously: exactly
+	// one upstream query must run.
+	var calls atomic.Int32
+	release := make(chan struct{})
+	up := UpstreamFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		calls.Add(1)
+		<-release
+		return answer(q.Questions[0].Name, 60), nil
+	})
+	r := New(nil)
+	r.SetDefault(up)
+
+	const waiters = 32
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	ids := make([]uint16, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := r.Resolve(context.Background(),
+				dnswire.NewQuery(uint16(i), "storm.a.com.", dnswire.TypeA))
+			errs[i] = err
+			if resp != nil {
+				ids[i] = resp.Header.ID
+			}
+		}(i)
+	}
+	// Give the goroutines time to pile up on the flight, then release.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+		if ids[i] != uint16(i) {
+			t.Errorf("waiter %d got response ID %d (shared response not re-stamped)", i, ids[i])
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("upstream called %d times for one name under concurrency, want 1", got)
+	}
+}
+
+func TestCoalescedErrorSharedButNotCached(t *testing.T) {
+	var calls atomic.Int32
+	up := UpstreamFunc(func(context.Context, *dnswire.Message) (*dnswire.Message, error) {
+		calls.Add(1)
+		return nil, context.DeadlineExceeded
+	})
+	r := New(nil)
+	r.SetDefault(up)
+	for i := 0; i < 3; i++ {
+		if _, err := r.Resolve(context.Background(),
+			dnswire.NewQuery(1, "err.a.com.", dnswire.TypeA)); err == nil {
+			t.Fatal("expected error")
+		}
+	}
+	// Sequential failures are not cached; each retries upstream.
+	if got := calls.Load(); got != 3 {
+		t.Errorf("upstream calls = %d, want 3 (errors must not be cached)", got)
+	}
+}
+
+func TestWaiterContextCancellation(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	up := UpstreamFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		<-release
+		return answer(q.Questions[0].Name, 60), nil
+	})
+	r := New(nil)
+	r.SetDefault(up)
+
+	// Leader blocks; a waiter with a short context must abort.
+	go r.Resolve(context.Background(), dnswire.NewQuery(1, "slow.a.com.", dnswire.TypeA))
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := r.Resolve(ctx, dnswire.NewQuery(2, "slow.a.com.", dnswire.TypeA))
+	if err == nil {
+		t.Fatal("waiter ignored its context")
+	}
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64, sized for the small
+// design matrices regression needs (a handful of covariates).
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix allocates a rows x cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("stats: invalid matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At reads element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set writes element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Transpose returns m^T.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m * other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.cols != other.rows {
+		return nil, fmt.Errorf("stats: dim mismatch %dx%d * %dx%d", m.rows, m.cols, other.rows, other.cols)
+	}
+	out := NewMatrix(m.rows, other.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < other.cols; j++ {
+				out.data[i*out.cols+j] += a * other.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m * v as a vector.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("stats: dim mismatch %dx%d * %d-vec", m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		sum := 0.0
+		for j := 0; j < m.cols; j++ {
+			sum += m.At(i, j) * v[j]
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// ErrSingular is returned when a linear system has no stable solution.
+var ErrSingular = errors.New("stats: singular matrix")
+
+// SolveSPD solves A x = b for symmetric positive-definite A via
+// Gaussian elimination with partial pivoting (A is small). A and b
+// are not modified.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	n := a.rows
+	if a.cols != n || len(b) != n {
+		return nil, fmt.Errorf("stats: solve dims %dx%d, b %d", a.rows, a.cols, len(b))
+	}
+	// Working copies.
+	aug := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		aug[i] = make([]float64, n+1)
+		for j := 0; j < n; j++ {
+			aug[i][j] = a.At(i, j)
+		}
+		aug[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		for r := col + 1; r < n; r++ {
+			f := aug[r][col] / aug[col][col]
+			for j := col; j <= n; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := aug[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= aug[i][j] * x[j]
+		}
+		x[i] = sum / aug[i][i]
+	}
+	return x, nil
+}
+
+// Inverse returns A^-1 for small matrices via Gauss-Jordan.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	n := m.rows
+	if m.cols != n {
+		return nil, fmt.Errorf("stats: inverse of non-square %dx%d", m.rows, m.cols)
+	}
+	aug := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		aug[i] = make([]float64, 2*n)
+		for j := 0; j < n; j++ {
+			aug[i][j] = m.At(i, j)
+		}
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		p := aug[col][col]
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] /= p
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	out := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, aug[i][n+j])
+		}
+	}
+	return out, nil
+}

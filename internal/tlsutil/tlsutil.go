@@ -1,0 +1,63 @@
+// Package tlsutil generates the ephemeral self-signed certificates
+// the loopback servers (DoH, DoT) use in tests, examples, and the
+// cmd/ tools when no certificate is supplied.
+package tlsutil
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"math/big"
+	"net"
+	"time"
+)
+
+// SelfSigned returns an ephemeral ECDSA P-256 certificate valid for
+// host (an IP literal or DNS name, optionally host:port).
+func SelfSigned(host string) (tls.Certificate, error) {
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(time.Now().UnixNano()),
+		Subject:      pkix.Name{CommonName: host},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(365 * 24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	if ip := net.ParseIP(host); ip != nil {
+		tmpl.IPAddresses = []net.IP{ip}
+	} else {
+		tmpl.DNSNames = []string{host}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}, nil
+}
+
+// ServerConfig wraps SelfSigned into a ready *tls.Config.
+func ServerConfig(host string) (*tls.Config, error) {
+	cert, err := SelfSigned(host)
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS12,
+	}, nil
+}
+
+// InsecureClientConfig skips verification; loopback tests only.
+func InsecureClientConfig() *tls.Config {
+	return &tls.Config{InsecureSkipVerify: true}
+}

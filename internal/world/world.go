@@ -1,0 +1,451 @@
+// Package world embeds the country-level dataset the study's
+// regressions and sampling draw on: geographic centroids, GDP per
+// capita, World Bank income groups, nationwide fixed-broadband speeds
+// (Ookla-style), autonomous-system counts (IPInfo-style), and the
+// relative availability of proxy exit nodes per country.
+//
+// The values are static approximations of the public 2021 datasets the
+// paper used (World Bank, Ookla Speedtest Global Index, IPInfo); see
+// DESIGN.md for the substitution rationale. The regressions only
+// depend on the cross-country ordering and rough magnitudes.
+package world
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// IncomeGroup is the World Bank income classification.
+type IncomeGroup int
+
+// Income groups, ordered low to high.
+const (
+	LowIncome IncomeGroup = iota
+	LowerMiddleIncome
+	UpperMiddleIncome
+	HighIncome
+)
+
+func (g IncomeGroup) String() string {
+	switch g {
+	case LowIncome:
+		return "Low"
+	case LowerMiddleIncome:
+		return "Lower-middle"
+	case UpperMiddleIncome:
+		return "Upper-middle"
+	case HighIncome:
+		return "High"
+	}
+	return fmt.Sprintf("IncomeGroup(%d)", int(g))
+}
+
+// Region is a coarse continental region.
+type Region string
+
+// Regions.
+const (
+	Africa       Region = "Africa"
+	Asia         Region = "Asia"
+	Europe       Region = "Europe"
+	MiddleEast   Region = "Middle East"
+	NorthAmerica Region = "North America"
+	SouthAmerica Region = "South America"
+	Oceania      Region = "Oceania"
+)
+
+// Country describes one country or territory.
+type Country struct {
+	// Code is the ISO 3166-1 alpha-2 code.
+	Code string
+	// Name is the common English name.
+	Name string
+	// Centroid is the approximate geographic center.
+	Centroid geo.Point
+	// GDPPerCapita is in current US dollars (2021-ish).
+	GDPPerCapita float64
+	// Income is the World Bank income group.
+	Income IncomeGroup
+	// BandwidthMbps is the median nationwide fixed broadband speed.
+	BandwidthMbps float64
+	// NumASes is the number of autonomous systems registered in the
+	// country.
+	NumASes int
+	// Region is the continental region.
+	Region Region
+	// ExitNodeWeight is the relative availability of proxy exit
+	// nodes; it drives per-country client sampling (the paper saw 10
+	// to 282 clients per country).
+	ExitNodeWeight float64
+	// ResolverOverheadMs is the typical extra processing/queueing
+	// latency of the country's default ISP resolvers beyond pure
+	// propagation. Countries with poor ISP DNS infrastructure have
+	// large values, which is what makes DoH a net win there (the
+	// paper's Brazil/Indonesia speedups).
+	ResolverOverheadMs float64
+}
+
+// FastBandwidth is the FCC "fast Internet" threshold used by the
+// paper's logistic model (> 25 Mbps).
+const FastBandwidth = 25.0
+
+// Fast reports whether the country clears the FCC fast-broadband bar.
+func (c Country) Fast() bool { return c.BandwidthMbps > FastBandwidth }
+
+func c(code, name string, lat, lon, gdp float64, inc IncomeGroup, bw float64,
+	ases int, region Region, weight, resolverMs float64) Country {
+	return Country{
+		Code: code, Name: name,
+		Centroid:     geo.Point{Lat: lat, Lon: lon},
+		GDPPerCapita: gdp, Income: inc, BandwidthMbps: bw, NumASes: ases,
+		Region: region, ExitNodeWeight: weight, ResolverOverheadMs: resolverMs,
+	}
+}
+
+// countries is the embedded dataset. Ordering is by region then name.
+var countries = []Country{
+	// ---------- Europe ----------
+	c("AL", "Albania", 41.2, 20.2, 6290, UpperMiddleIncome, 42, 29, Europe, 55, 13),
+	c("AD", "Andorra", 42.5, 1.6, 42140, HighIncome, 130, 4, Europe, 12, 10),
+	c("AT", "Austria", 47.6, 14.1, 53270, HighIncome, 78, 231, Europe, 80, 10),
+	c("BY", "Belarus", 53.7, 27.9, 7300, UpperMiddleIncome, 52, 88, Europe, 70, 13),
+	c("BE", "Belgium", 50.6, 4.7, 51770, HighIncome, 92, 184, Europe, 85, 10),
+	c("BA", "Bosnia and Herzegovina", 44.2, 17.8, 6650, UpperMiddleIncome, 33, 42, Europe, 48, 14),
+	c("BG", "Bulgaria", 42.8, 25.2, 11680, UpperMiddleIncome, 68, 290, Europe, 75, 12),
+	c("HR", "Croatia", 45.1, 15.2, 17400, HighIncome, 48, 77, Europe, 60, 12),
+	c("CY", "Cyprus", 35.0, 33.2, 30800, HighIncome, 47, 40, Europe, 35, 12),
+	c("CZ", "Czechia", 49.8, 15.5, 26380, HighIncome, 72, 478, Europe, 90, 10),
+	c("DK", "Denmark", 56.0, 10.0, 68010, HighIncome, 152, 229, Europe, 70, 10),
+	c("EE", "Estonia", 58.7, 25.5, 27280, HighIncome, 74, 60, Europe, 40, 10),
+	c("FI", "Finland", 64.5, 26.0, 53650, HighIncome, 95, 164, Europe, 65, 10),
+	c("FR", "France", 46.6, 2.5, 43660, HighIncome, 150, 618, Europe, 200, 10),
+	c("DE", "Germany", 51.1, 10.4, 50800, HighIncome, 115, 1250, Europe, 240, 10),
+	c("GR", "Greece", 39.1, 22.0, 20280, HighIncome, 32, 98, Europe, 80, 12),
+	c("HU", "Hungary", 47.2, 19.4, 18730, HighIncome, 118, 206, Europe, 75, 11),
+	c("IS", "Iceland", 64.9, -18.6, 68380, HighIncome, 180, 35, Europe, 20, 10),
+	c("IE", "Ireland", 53.2, -8.1, 99010, HighIncome, 82, 165, Europe, 60, 10),
+	c("IT", "Italy", 42.8, 12.1, 35660, HighIncome, 68, 509, Europe, 210, 11),
+	c("LV", "Latvia", 56.9, 24.9, 20640, HighIncome, 92, 83, Europe, 45, 10),
+	c("LI", "Liechtenstein", 47.15, 9.55, 169260, HighIncome, 160, 5, Europe, 8, 10),
+	c("LT", "Lithuania", 55.3, 23.9, 22150, HighIncome, 97, 71, Europe, 50, 10),
+	c("LU", "Luxembourg", 49.8, 6.1, 135680, HighIncome, 140, 44, Europe, 22, 10),
+	c("MT", "Malta", 35.9, 14.4, 31580, HighIncome, 96, 19, Europe, 18, 11),
+	c("MD", "Moldova", 47.2, 28.5, 5310, UpperMiddleIncome, 80, 77, Europe, 45, 110),
+	c("MC", "Monaco", 43.73, 7.42, 173690, HighIncome, 180, 4, Europe, 6, 10),
+	c("ME", "Montenegro", 42.8, 19.3, 9370, UpperMiddleIncome, 45, 18, Europe, 25, 13),
+	c("MK", "North Macedonia", 41.6, 21.7, 6720, UpperMiddleIncome, 40, 35, Europe, 35, 13),
+	c("NL", "Netherlands", 52.2, 5.5, 58060, HighIncome, 135, 820, Europe, 140, 10),
+	c("NO", "Norway", 64.5, 12.0, 89200, HighIncome, 132, 195, Europe, 60, 10),
+	c("PL", "Poland", 52.1, 19.4, 17840, HighIncome, 92, 1150, Europe, 170, 11),
+	c("PT", "Portugal", 39.6, -8.0, 24260, HighIncome, 110, 95, Europe, 85, 11),
+	c("RO", "Romania", 45.9, 25.0, 14860, HighIncome, 166, 530, Europe, 110, 11),
+	c("RU", "Russia", 60.0, 90.0, 12170, UpperMiddleIncome, 74, 4640, Europe, 250, 12),
+	c("SM", "San Marino", 43.94, 12.46, 49770, HighIncome, 90, 3, Europe, 5, 11),
+	c("RS", "Serbia", 44.2, 20.9, 9230, UpperMiddleIncome, 54, 110, Europe, 70, 110),
+	c("SK", "Slovakia", 48.7, 19.7, 21390, HighIncome, 77, 116, Europe, 55, 11),
+	c("SI", "Slovenia", 46.1, 14.8, 29200, HighIncome, 82, 80, Europe, 40, 10),
+	c("ES", "Spain", 40.2, -3.6, 30100, HighIncome, 144, 440, Europe, 190, 10),
+	c("SE", "Sweden", 62.8, 16.7, 60240, HighIncome, 158, 480, Europe, 90, 10),
+	c("CH", "Switzerland", 46.8, 8.2, 93460, HighIncome, 150, 405, Europe, 90, 10),
+	c("UA", "Ukraine", 49.0, 31.4, 4830, LowerMiddleIncome, 60, 1720, Europe, 160, 120),
+	c("GB", "United Kingdom", 54.2, -2.9, 47330, HighIncome, 72, 1510, Europe, 230, 10),
+
+	// ---------- North America & Caribbean ----------
+	c("AG", "Antigua and Barbuda", 17.08, -61.8, 15780, HighIncome, 35, 5, NorthAmerica, 10, 14),
+	c("BS", "Bahamas", 24.7, -77.9, 27480, HighIncome, 38, 10, NorthAmerica, 15, 13),
+	c("BB", "Barbados", 13.17, -59.55, 17230, HighIncome, 55, 7, NorthAmerica, 14, 13),
+	c("BZ", "Belize", 17.2, -88.6, 4440, UpperMiddleIncome, 18, 6, NorthAmerica, 12, 17),
+	c("BM", "Bermuda", 32.31, -64.77, 114090, HighIncome, 90, 6, NorthAmerica, 8, 10),
+	c("CA", "Canada", 56.1, -106.3, 52050, HighIncome, 115, 1090, NorthAmerica, 160, 10),
+	c("CR", "Costa Rica", 9.9, -84.2, 12470, UpperMiddleIncome, 46, 62, NorthAmerica, 45, 13),
+	c("CU", "Cuba", 21.5, -79.6, 9500, UpperMiddleIncome, 4, 3, NorthAmerica, 10, 32),
+	c("DM", "Dominica", 15.42, -61.34, 7650, UpperMiddleIncome, 28, 4, NorthAmerica, 6, 15),
+	c("DO", "Dominican Republic", 18.9, -70.5, 8480, UpperMiddleIncome, 28, 48, NorthAmerica, 55, 15),
+	c("SV", "El Salvador", 13.8, -88.9, 4550, LowerMiddleIncome, 24, 25, NorthAmerica, 35, 16),
+	c("GD", "Grenada", 12.11, -61.68, 9010, UpperMiddleIncome, 27, 4, NorthAmerica, 6, 15),
+	c("GT", "Guatemala", 15.7, -90.2, 5030, UpperMiddleIncome, 22, 44, NorthAmerica, 45, 16),
+	c("HT", "Haiti", 19.1, -72.7, 1830, LowerMiddleIncome, 6, 8, NorthAmerica, 18, 26),
+	c("HN", "Honduras", 14.8, -86.6, 2770, LowerMiddleIncome, 16, 24, NorthAmerica, 30, 18),
+	c("JM", "Jamaica", 18.1, -77.3, 5180, UpperMiddleIncome, 30, 18, NorthAmerica, 32, 14),
+	c("MX", "Mexico", 23.6, -102.5, 10050, UpperMiddleIncome, 42, 620, NorthAmerica, 180, 70),
+	c("NI", "Nicaragua", 12.9, -85.2, 2090, LowerMiddleIncome, 18, 16, NorthAmerica, 22, 18),
+	c("PA", "Panama", 8.5, -80.1, 14520, HighIncome, 74, 53, NorthAmerica, 35, 12),
+	c("KN", "Saint Kitts and Nevis", 17.33, -62.75, 18080, HighIncome, 30, 4, NorthAmerica, 5, 15),
+	c("LC", "Saint Lucia", 13.9, -60.97, 9410, UpperMiddleIncome, 30, 4, NorthAmerica, 7, 15),
+	c("VC", "Saint Vincent", 13.25, -61.19, 8670, UpperMiddleIncome, 28, 4, NorthAmerica, 6, 15),
+	c("TT", "Trinidad and Tobago", 10.4, -61.3, 15380, HighIncome, 55, 20, NorthAmerica, 25, 12),
+	c("US", "United States", 39.8, -98.6, 69290, HighIncome, 134, 30300, NorthAmerica, 282, 10),
+
+	// ---------- South America ----------
+	c("AR", "Argentina", -34.0, -64.0, 10640, UpperMiddleIncome, 52, 880, SouthAmerica, 130, 80),
+	c("BO", "Bolivia", -16.7, -64.7, 3420, LowerMiddleIncome, 22, 38, SouthAmerica, 40, 16),
+	c("BR", "Brazil", -10.8, -52.9, 7510, UpperMiddleIncome, 75, 8700, SouthAmerica, 230, 210),
+	c("CL", "Chile", -35.7, -71.2, 16500, HighIncome, 160, 220, SouthAmerica, 90, 11),
+	c("CO", "Colombia", 3.9, -73.1, 6100, UpperMiddleIncome, 46, 370, SouthAmerica, 120, 130),
+	c("EC", "Ecuador", -1.4, -78.4, 5930, UpperMiddleIncome, 42, 88, SouthAmerica, 60, 14),
+	c("GY", "Guyana", 4.8, -58.9, 9910, UpperMiddleIncome, 18, 8, SouthAmerica, 12, 17),
+	c("PY", "Paraguay", -23.2, -58.4, 5400, UpperMiddleIncome, 32, 60, SouthAmerica, 35, 15),
+	c("PE", "Peru", -9.2, -74.4, 6620, UpperMiddleIncome, 56, 130, SouthAmerica, 85, 130),
+	c("SR", "Suriname", 4.1, -55.9, 4870, UpperMiddleIncome, 22, 8, SouthAmerica, 10, 16),
+	c("UY", "Uruguay", -32.8, -56.0, 17020, HighIncome, 110, 40, SouthAmerica, 35, 11),
+	c("VE", "Venezuela", 7.1, -66.2, 3740, LowerMiddleIncome, 10, 95, SouthAmerica, 55, 67),
+
+	// ---------- Africa ----------
+	c("DZ", "Algeria", 28.2, 2.6, 3690, LowerMiddleIncome, 10, 18, Africa, 60, 47),
+	c("AO", "Angola", -12.3, 17.5, 1950, LowerMiddleIncome, 12, 28, Africa, 35, 21),
+	c("BJ", "Benin", 9.6, 2.3, 1360, LowerMiddleIncome, 10, 12, Africa, 20, 22),
+	c("BW", "Botswana", -22.2, 23.8, 6800, UpperMiddleIncome, 16, 16, Africa, 18, 18),
+	c("BF", "Burkina Faso", 12.3, -1.8, 890, LowIncome, 8, 10, Africa, 16, 24),
+	c("BI", "Burundi", -3.4, 29.9, 220, LowIncome, 5, 6, Africa, 10, 28),
+	c("CV", "Cabo Verde", 15.1, -23.6, 3290, LowerMiddleIncome, 18, 5, Africa, 8, 18),
+	c("CM", "Cameroon", 5.7, 12.7, 1660, LowerMiddleIncome, 9, 24, Africa, 30, 23),
+	c("CF", "Central African Republic", 6.6, 20.5, 510, LowIncome, 3, 4, Africa, 6, 32),
+	c("TD", "Chad", 15.4, 18.7, 690, LowIncome, 3, 5, Africa, 8, 36),
+	c("KM", "Comoros", -11.9, 43.9, 1580, LowerMiddleIncome, 6, 3, Africa, 5, 26),
+	c("CG", "Congo (Brazzaville)", -0.8, 15.2, 2290, LowerMiddleIncome, 7, 8, Africa, 10, 24),
+	c("CD", "Congo (Kinshasa)", -2.9, 23.7, 580, LowIncome, 6, 20, Africa, 25, 28),
+	c("CI", "Cote d'Ivoire", 7.6, -5.6, 2580, LowerMiddleIncome, 19, 18, Africa, 28, 20),
+	c("DJ", "Djibouti", 11.7, 42.6, 3150, LowerMiddleIncome, 12, 5, Africa, 6, 22),
+	c("EG", "Egypt", 26.6, 29.8, 3880, LowerMiddleIncome, 38, 68, Africa, 110, 16),
+	c("GQ", "Equatorial Guinea", 1.6, 10.5, 8070, UpperMiddleIncome, 8, 4, Africa, 5, 23),
+	c("SZ", "Eswatini", -26.6, 31.5, 3990, LowerMiddleIncome, 12, 8, Africa, 8, 20),
+	c("ET", "Ethiopia", 8.6, 39.6, 940, LowIncome, 7, 5, Africa, 28, 26),
+	c("GA", "Gabon", -0.6, 11.8, 8020, UpperMiddleIncome, 16, 9, Africa, 9, 19),
+	c("GM", "Gambia", 13.45, -15.4, 780, LowIncome, 8, 6, Africa, 7, 24),
+	c("GH", "Ghana", 7.9, -1.2, 2450, LowerMiddleIncome, 28, 52, Africa, 40, 18),
+	c("GN", "Guinea", 10.4, -10.9, 1170, LowIncome, 7, 8, Africa, 12, 24),
+	c("GW", "Guinea-Bissau", 12.0, -15.0, 800, LowIncome, 5, 3, Africa, 5, 26),
+	c("KE", "Kenya", 0.5, 37.9, 2010, LowerMiddleIncome, 22, 110, Africa, 55, 16),
+	c("LS", "Lesotho", -29.6, 28.2, 1110, LowerMiddleIncome, 9, 5, Africa, 6, 22),
+	c("LR", "Liberia", 6.4, -9.3, 680, LowIncome, 5, 6, Africa, 8, 26),
+	c("LY", "Libya", 27.0, 17.2, 6020, UpperMiddleIncome, 9, 8, Africa, 18, 23),
+	c("MG", "Madagascar", -19.4, 46.7, 500, LowIncome, 17, 12, Africa, 16, 21),
+	c("MW", "Malawi", -13.2, 34.3, 640, LowIncome, 8, 10, Africa, 12, 24),
+	c("ML", "Mali", 17.3, -3.5, 920, LowIncome, 6, 8, Africa, 12, 25),
+	c("MR", "Mauritania", 20.2, -10.3, 2170, LowerMiddleIncome, 7, 5, Africa, 8, 24),
+	c("MU", "Mauritius", -20.2, 57.5, 8810, UpperMiddleIncome, 32, 18, Africa, 16, 15),
+	c("MA", "Morocco", 31.9, -6.9, 3500, LowerMiddleIncome, 26, 30, Africa, 75, 16),
+	c("MZ", "Mozambique", -17.3, 35.5, 500, LowIncome, 11, 18, Africa, 18, 22),
+	c("NA", "Namibia", -22.1, 17.2, 4870, UpperMiddleIncome, 20, 14, Africa, 12, 18),
+	c("NE", "Niger", 17.4, 9.4, 590, LowIncome, 4, 5, Africa, 8, 29),
+	c("NG", "Nigeria", 9.6, 8.1, 2080, LowerMiddleIncome, 14, 180, Africa, 95, 45),
+	c("RW", "Rwanda", -2.0, 29.9, 830, LowIncome, 14, 14, Africa, 12, 20),
+	c("ST", "Sao Tome and Principe", 0.2, 6.6, 2280, LowerMiddleIncome, 8, 3, Africa, 4, 23),
+	c("SN", "Senegal", 14.4, -14.5, 1540, LowerMiddleIncome, 21, 14, Africa, 22, 18),
+	c("SC", "Seychelles", -4.7, 55.5, 13310, HighIncome, 28, 6, Africa, 6, 16),
+	c("SL", "Sierra Leone", 8.6, -11.8, 510, LowIncome, 5, 6, Africa, 8, 26),
+	c("SO", "Somalia", 6.0, 45.9, 450, LowIncome, 6, 10, Africa, 8, 28),
+	c("ZA", "South Africa", -29.0, 25.1, 7060, UpperMiddleIncome, 44, 690, Africa, 110, 13),
+	c("SD", "Sudan", 16.0, 30.0, 760, LowIncome, 5, 10, Africa, 20, 31),
+	c("TZ", "Tanzania", -6.3, 34.8, 1140, LowerMiddleIncome, 12, 38, Africa, 30, 20),
+	c("TG", "Togo", 8.5, 0.9, 990, LowIncome, 9, 8, Africa, 10, 23),
+	c("TN", "Tunisia", 34.1, 9.6, 3920, LowerMiddleIncome, 11, 30, Africa, 40, 18),
+	c("UG", "Uganda", 1.3, 32.4, 880, LowIncome, 11, 32, Africa, 25, 21),
+	c("ZM", "Zambia", -13.5, 27.8, 1120, LowerMiddleIncome, 13, 22, Africa, 18, 21),
+	c("ZW", "Zimbabwe", -19.0, 29.9, 1770, LowerMiddleIncome, 10, 22, Africa, 20, 22),
+
+	// ---------- Middle East ----------
+	c("BH", "Bahrain", 26.0, 50.5, 26560, HighIncome, 60, 30, MiddleEast, 20, 12),
+	c("IR", "Iran", 32.6, 54.3, 2760, LowerMiddleIncome, 18, 540, MiddleEast, 90, 35),
+	c("IQ", "Iraq", 33.0, 43.8, 4690, UpperMiddleIncome, 14, 90, MiddleEast, 50, 19),
+	c("IL", "Israel", 31.4, 35.0, 51430, HighIncome, 120, 260, MiddleEast, 70, 10),
+	c("JO", "Jordan", 31.3, 36.8, 4100, UpperMiddleIncome, 48, 38, MiddleEast, 40, 13),
+	c("KW", "Kuwait", 29.3, 47.6, 24300, HighIncome, 95, 32, MiddleEast, 30, 12),
+	c("LB", "Lebanon", 33.9, 35.9, 4140, UpperMiddleIncome, 10, 60, MiddleEast, 35, 51),
+	c("PS", "Palestine", 31.9, 35.2, 3660, LowerMiddleIncome, 22, 30, MiddleEast, 25, 17),
+	c("QA", "Qatar", 25.3, 51.2, 61280, HighIncome, 98, 16, MiddleEast, 25, 11),
+	c("TR", "Turkey", 39.1, 35.4, 9590, UpperMiddleIncome, 34, 420, MiddleEast, 150, 60),
+	c("AE", "United Arab Emirates", 24.0, 54.0, 43100, HighIncome, 130, 70, MiddleEast, 60, 10),
+	c("YE", "Yemen", 15.9, 47.6, 690, LowIncome, 5, 6, MiddleEast, 12, 32),
+
+	// ---------- Asia ----------
+	c("AF", "Afghanistan", 33.8, 66.0, 510, LowIncome, 4, 20, Asia, 14, 31),
+	c("AM", "Armenia", 40.3, 45.0, 4970, UpperMiddleIncome, 42, 75, Asia, 35, 13),
+	c("AZ", "Azerbaijan", 40.3, 47.5, 5380, UpperMiddleIncome, 22, 55, Asia, 40, 15),
+	c("BD", "Bangladesh", 23.8, 90.3, 2460, LowerMiddleIncome, 32, 140, Asia, 80, 16),
+	c("BT", "Bhutan", 27.4, 90.4, 3270, LowerMiddleIncome, 28, 4, Asia, 6, 17),
+	c("BN", "Brunei", 4.5, 114.7, 31450, HighIncome, 62, 10, Asia, 10, 12),
+	c("KH", "Cambodia", 12.7, 104.9, 1590, LowerMiddleIncome, 22, 60, Asia, 28, 16),
+	c("GE", "Georgia", 42.2, 43.5, 5040, UpperMiddleIncome, 26, 110, Asia, 40, 14),
+	c("HK", "Hong Kong", 22.4, 114.1, 49660, HighIncome, 230, 360, Asia, 60, 10),
+	c("IN", "India", 22.9, 79.6, 2280, LowerMiddleIncome, 48, 980, Asia, 250, 16),
+	c("ID", "Indonesia", -2.2, 117.4, 4290, LowerMiddleIncome, 27, 1090, Asia, 190, 280),
+	c("JP", "Japan", 36.6, 138.1, 39310, HighIncome, 150, 1060, Asia, 160, 10),
+	c("KZ", "Kazakhstan", 48.2, 66.9, 10040, UpperMiddleIncome, 38, 130, Asia, 55, 120),
+	c("KG", "Kyrgyzstan", 41.5, 74.5, 1280, LowerMiddleIncome, 32, 40, Asia, 20, 16),
+	c("LA", "Laos", 18.5, 103.8, 2570, LowerMiddleIncome, 20, 12, Asia, 14, 18),
+	c("MO", "Macao", 22.16, 113.56, 43770, HighIncome, 150, 8, Asia, 10, 10),
+	c("MY", "Malaysia", 3.8, 109.7, 11370, UpperMiddleIncome, 92, 180, Asia, 90, 40),
+	c("MV", "Maldives", 3.7, 73.2, 10370, UpperMiddleIncome, 25, 8, Asia, 8, 16),
+	c("MN", "Mongolia", 46.8, 103.1, 4530, LowerMiddleIncome, 42, 30, Asia, 16, 14),
+	c("MM", "Myanmar", 21.2, 96.5, 1210, LowerMiddleIncome, 18, 50, Asia, 30, 20),
+	c("NP", "Nepal", 28.3, 83.9, 1220, LowerMiddleIncome, 32, 55, Asia, 30, 16),
+	c("PK", "Pakistan", 29.9, 69.3, 1500, LowerMiddleIncome, 12, 120, Asia, 90, 45),
+	c("PH", "Philippines", 12.9, 121.8, 3550, LowerMiddleIncome, 49, 350, Asia, 110, 37),
+	c("SG", "Singapore", 1.35, 103.8, 72790, HighIncome, 245, 320, Asia, 60, 9),
+	c("KR", "South Korea", 36.4, 127.8, 34760, HighIncome, 212, 750, Asia, 110, 10),
+	c("LK", "Sri Lanka", 7.6, 80.7, 3820, LowerMiddleIncome, 26, 36, Asia, 35, 15),
+	c("TW", "Taiwan", 23.8, 121.0, 33140, HighIncome, 135, 250, Asia, 80, 10),
+	c("TJ", "Tajikistan", 38.5, 71.0, 900, LowerMiddleIncome, 12, 20, Asia, 12, 20),
+	c("TH", "Thailand", 15.1, 101.0, 7230, UpperMiddleIncome, 190, 450, Asia, 120, 60),
+	c("UZ", "Uzbekistan", 41.8, 63.1, 1980, LowerMiddleIncome, 28, 70, Asia, 45, 15),
+	c("VN", "Vietnam", 16.6, 106.3, 3700, LowerMiddleIncome, 70, 380, Asia, 130, 45),
+
+	// ---------- Oceania ----------
+	c("AU", "Australia", -25.7, 134.5, 60440, HighIncome, 56, 1620, Oceania, 130, 11),
+	c("FJ", "Fiji", -17.8, 178.0, 4650, UpperMiddleIncome, 20, 8, Oceania, 10, 17),
+	c("KI", "Kiribati", 1.87, -157.36, 1650, LowerMiddleIncome, 3, 2, Oceania, 4, 35),
+	c("MH", "Marshall Islands", 7.1, 171.1, 4940, UpperMiddleIncome, 5, 2, Oceania, 4, 29),
+	c("FM", "Micronesia", 6.9, 158.2, 3570, LowerMiddleIncome, 5, 3, Oceania, 4, 29),
+	c("NZ", "New Zealand", -41.8, 172.8, 48780, HighIncome, 120, 280, Oceania, 55, 10),
+	c("PG", "Papua New Guinea", -6.5, 145.3, 2670, LowerMiddleIncome, 8, 16, Oceania, 12, 24),
+	c("WS", "Samoa", -13.76, -172.1, 3860, LowerMiddleIncome, 10, 4, Oceania, 5, 23),
+	c("SB", "Solomon Islands", -9.6, 160.1, 2300, LowerMiddleIncome, 5, 4, Oceania, 5, 28),
+	c("TO", "Tonga", -21.18, -175.2, 4900, UpperMiddleIncome, 12, 3, Oceania, 4, 23),
+	c("VU", "Vanuatu", -15.4, 166.9, 3130, LowerMiddleIncome, 6, 4, Oceania, 5, 26),
+
+	// ---------- Territories ----------
+	c("PR", "Puerto Rico", 18.2, -66.4, 31430, HighIncome, 70, 30, NorthAmerica, 30, 12),
+	c("GU", "Guam", 13.44, 144.79, 35900, HighIncome, 30, 5, Oceania, 8, 18),
+	c("VI", "U.S. Virgin Islands", 18.05, -64.8, 39550, HighIncome, 40, 4, NorthAmerica, 7, 15),
+	c("AW", "Aruba", 12.52, -69.97, 29340, HighIncome, 42, 4, NorthAmerica, 8, 15),
+	c("CW", "Curacao", 12.2, -69.0, 17720, HighIncome, 40, 6, NorthAmerica, 9, 15),
+	c("GF", "French Guiana", 3.9, -53.1, 18000, HighIncome, 30, 3, SouthAmerica, 7, 18),
+	c("GP", "Guadeloupe", 16.2, -61.6, 23000, HighIncome, 55, 4, NorthAmerica, 9, 13),
+	c("MQ", "Martinique", 14.64, -61.0, 24000, HighIncome, 55, 4, NorthAmerica, 9, 13),
+	c("RE", "Reunion", -21.1, 55.5, 24000, HighIncome, 60, 5, Africa, 10, 13),
+	c("NC", "New Caledonia", -21.3, 165.5, 34940, HighIncome, 35, 6, Oceania, 7, 16),
+	c("PF", "French Polynesia", -17.7, -149.4, 19900, HighIncome, 25, 5, Oceania, 6, 18),
+	c("GI", "Gibraltar", 36.14, -5.35, 61700, HighIncome, 80, 5, Europe, 6, 11),
+	c("FO", "Faroe Islands", 62.0, -6.8, 69010, HighIncome, 95, 3, Europe, 5, 10),
+
+	// ---------- Excluded in per-country analysis (paper §5.1) ----------
+	// These appear in the dataset but were dropped from per-country
+	// analyses: fewer than 10 unique clients resolved via all four
+	// providers, or (China) DoH queries were dropped entirely.
+	c("CN", "China", 35.9, 104.2, 12560, UpperMiddleIncome, 137, 1160, Asia, 3, 14),
+	c("KP", "North Korea", 40.3, 127.4, 640, LowIncome, 2, 1, Asia, 1, 44),
+	c("SA", "Saudi Arabia", 24.0, 45.1, 23590, HighIncome, 94, 90, MiddleEast, 6, 12),
+	c("OM", "Oman", 20.6, 56.1, 16440, HighIncome, 56, 18, MiddleEast, 5, 12),
+	c("TM", "Turkmenistan", 39.1, 59.4, 7610, UpperMiddleIncome, 4, 6, Asia, 2, 35),
+	c("ER", "Eritrea", 15.4, 38.8, 640, LowIncome, 2, 2, Africa, 2, 41),
+	c("SY", "Syria", 35.0, 38.5, 1190, LowIncome, 8, 10, MiddleEast, 4, 29),
+	c("SS", "South Sudan", 7.3, 30.2, 1120, LowIncome, 3, 4, Africa, 3, 36),
+	c("TV", "Tuvalu", -7.48, 178.68, 4850, UpperMiddleIncome, 4, 1, Oceania, 1, 35),
+	c("NR", "Nauru", -0.52, 166.93, 10130, HighIncome, 6, 1, Oceania, 1, 32),
+	c("PW", "Palau", 7.5, 134.6, 12850, HighIncome, 10, 2, Oceania, 2, 26),
+	c("VA", "Vatican City", 41.9, 12.45, 80000, HighIncome, 60, 1, Europe, 1, 11),
+	c("GL", "Greenland", 71.7, -42.6, 54570, HighIncome, 45, 3, NorthAmerica, 2, 14),
+	c("FK", "Falkland Islands", -51.8, -59.5, 70800, HighIncome, 10, 1, SouthAmerica, 1, 26),
+	c("SH", "Saint Helena", -15.97, -5.7, 7800, UpperMiddleIncome, 4, 1, Africa, 1, 35),
+	c("NU", "Niue", -19.05, -169.87, 15600, HighIncome, 8, 1, Oceania, 1, 29),
+	c("CK", "Cook Islands", -21.23, -159.78, 21600, HighIncome, 15, 2, Oceania, 1, 23),
+	c("TK", "Tokelau", -9.2, -171.85, 6600, UpperMiddleIncome, 3, 1, Oceania, 1, 35),
+	c("WF", "Wallis and Futuna", -13.77, -177.16, 12600, HighIncome, 8, 1, Oceania, 1, 29),
+	c("PM", "Saint Pierre and Miquelon", 46.9, -56.3, 46200, HighIncome, 25, 1, NorthAmerica, 1, 17),
+	c("IO", "British Indian Ocean Territory", -6.3, 71.9, 0, HighIncome, 5, 1, Asia, 1, 32),
+	c("AQ", "Antarctica", -82.9, 135.0, 0, HighIncome, 2, 1, Oceania, 1, 53),
+	c("EH", "Western Sahara", 24.2, -12.9, 2500, LowerMiddleIncome, 4, 1, Africa, 1, 35),
+	c("DJF", "Norfolk Island", -29.04, 167.95, 25000, HighIncome, 12, 1, Oceania, 1, 26),
+	c("GS", "South Georgia", -54.4, -36.6, 0, HighIncome, 2, 1, SouthAmerica, 1, 44),
+}
+
+// superProxyCodes are the 11 countries hosting BrightData Super Proxy
+// servers; there the Super Proxy resolves DNS itself, so Do53 headers
+// do not reflect the exit node (paper §3.5) and the study falls back
+// to Atlas probes.
+var superProxyCodes = map[string]bool{
+	"US": true, "CA": true, "GB": true, "IN": true, "JP": true, "KR": true,
+	"SG": true, "DE": true, "NL": true, "FR": true, "AU": true,
+}
+
+// excludedCodes are the 25 countries/territories dropped from
+// per-country analyses (fewer than 10 clients per provider, or DoH
+// blocked, as with China).
+var excludedCodes = map[string]bool{
+	"CN": true, "KP": true, "SA": true, "OM": true, "TM": true, "ER": true,
+	"SY": true, "SS": true, "TV": true, "NR": true, "PW": true, "VA": true,
+	"GL": true, "FK": true, "SH": true, "NU": true, "CK": true, "TK": true,
+	"WF": true, "PM": true, "IO": true, "AQ": true, "EH": true, "DJF": true,
+	"GS": true,
+}
+
+var byCode = func() map[string]Country {
+	m := make(map[string]Country, len(countries))
+	for _, ct := range countries {
+		if _, dup := m[ct.Code]; dup {
+			panic("world: duplicate country code " + ct.Code)
+		}
+		m[ct.Code] = ct
+	}
+	return m
+}()
+
+// All returns every country and territory in the dataset, sorted by
+// code for deterministic iteration.
+func All() []Country {
+	out := append([]Country(nil), countries...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// ByCode looks up a country by its ISO code.
+func ByCode(code string) (Country, bool) {
+	ct, ok := byCode[code]
+	return ct, ok
+}
+
+// MustByCode is ByCode for codes known to exist; it panics otherwise.
+func MustByCode(code string) Country {
+	ct, ok := byCode[code]
+	if !ok {
+		panic("world: unknown country code " + code)
+	}
+	return ct
+}
+
+// IsSuperProxyCountry reports whether the BrightData Super Proxy is
+// located in the country, making direct Do53 measurement impossible.
+func IsSuperProxyCountry(code string) bool { return superProxyCodes[code] }
+
+// SuperProxyCountries returns the 11 affected countries.
+func SuperProxyCountries() []Country {
+	var out []Country
+	for code := range superProxyCodes {
+		out = append(out, byCode[code])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// IsExcluded reports whether the country is excluded from per-country
+// analyses.
+func IsExcluded(code string) bool { return excludedCodes[code] }
+
+// Analyzed returns the countries included in per-country analyses.
+func Analyzed() []Country {
+	var out []Country
+	for _, ct := range All() {
+		if !IsExcluded(ct.Code) {
+			out = append(out, ct)
+		}
+	}
+	return out
+}
+
+// MedianASCount returns the median number of ASes per country across
+// the analyzed set; the paper reports 25 and uses it to split the
+// "Num ASes" logistic covariate.
+func MedianASCount() int {
+	var counts []int
+	for _, ct := range Analyzed() {
+		counts = append(counts, ct.NumASes)
+	}
+	sort.Ints(counts)
+	if len(counts) == 0 {
+		return 0
+	}
+	return counts[len(counts)/2]
+}

@@ -1,0 +1,200 @@
+package world
+
+import (
+	"testing"
+)
+
+func TestDatasetSize(t *testing.T) {
+	all := All()
+	if len(all) < 180 {
+		t.Fatalf("dataset has %d countries, want >= 180", len(all))
+	}
+	analyzed := Analyzed()
+	if len(all)-len(analyzed) != 25 {
+		t.Errorf("excluded = %d, want 25 (paper §5.1)", len(all)-len(analyzed))
+	}
+}
+
+func TestAllCountriesValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ct := range All() {
+		if ct.Code == "" || ct.Name == "" {
+			t.Errorf("country with empty code/name: %+v", ct)
+		}
+		if seen[ct.Code] {
+			t.Errorf("duplicate code %s", ct.Code)
+		}
+		seen[ct.Code] = true
+		if !ct.Centroid.Valid() {
+			t.Errorf("%s: invalid centroid %v", ct.Code, ct.Centroid)
+		}
+		if ct.BandwidthMbps <= 0 {
+			t.Errorf("%s: bandwidth %f", ct.Code, ct.BandwidthMbps)
+		}
+		if ct.NumASes <= 0 {
+			t.Errorf("%s: AS count %d", ct.Code, ct.NumASes)
+		}
+		if ct.ExitNodeWeight <= 0 {
+			t.Errorf("%s: weight %f", ct.Code, ct.ExitNodeWeight)
+		}
+		if ct.ResolverOverheadMs < 0 {
+			t.Errorf("%s: resolver overhead %f", ct.Code, ct.ResolverOverheadMs)
+		}
+		if ct.Income < LowIncome || ct.Income > HighIncome {
+			t.Errorf("%s: income %v", ct.Code, ct.Income)
+		}
+	}
+}
+
+func TestSuperProxyCountries(t *testing.T) {
+	got := SuperProxyCountries()
+	if len(got) != 11 {
+		t.Fatalf("SuperProxyCountries = %d, want 11", len(got))
+	}
+	for _, code := range []string{"US", "CA", "GB", "IN", "JP", "KR", "SG", "DE", "NL", "FR", "AU"} {
+		if !IsSuperProxyCountry(code) {
+			t.Errorf("%s not flagged as Super Proxy country", code)
+		}
+	}
+	if IsSuperProxyCountry("BR") {
+		t.Error("BR flagged as Super Proxy country")
+	}
+}
+
+func TestExclusions(t *testing.T) {
+	for _, code := range []string{"CN", "KP", "SA", "OM"} {
+		if !IsExcluded(code) {
+			t.Errorf("%s not excluded (paper names it explicitly)", code)
+		}
+	}
+	if IsExcluded("US") || IsExcluded("TD") {
+		t.Error("analyzed country marked excluded")
+	}
+	for _, ct := range Analyzed() {
+		if IsExcluded(ct.Code) {
+			t.Errorf("Analyzed() returned excluded %s", ct.Code)
+		}
+	}
+}
+
+func TestByCode(t *testing.T) {
+	us, ok := ByCode("US")
+	if !ok || us.Name != "United States" {
+		t.Fatalf("ByCode(US) = %+v, %v", us, ok)
+	}
+	if _, ok := ByCode("XX"); ok {
+		t.Error("ByCode(XX) found a country")
+	}
+	if MustByCode("TD").Name != "Chad" {
+		t.Error("MustByCode(TD) wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByCode(XX) did not panic")
+		}
+	}()
+	MustByCode("XX")
+}
+
+func TestIncomeGroupStrings(t *testing.T) {
+	cases := map[IncomeGroup]string{
+		LowIncome: "Low", LowerMiddleIncome: "Lower-middle",
+		UpperMiddleIncome: "Upper-middle", HighIncome: "High",
+	}
+	for g, want := range cases {
+		if g.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(g), g.String(), want)
+		}
+	}
+}
+
+func TestFastThreshold(t *testing.T) {
+	if !MustByCode("SE").Fast() {
+		t.Error("Sweden not fast")
+	}
+	if MustByCode("TD").Fast() {
+		t.Error("Chad fast")
+	}
+}
+
+func TestMedianASCountNearPaper(t *testing.T) {
+	med := MedianASCount()
+	// The paper reports a global median of 25 ASes per country. Our
+	// embedded approximation should land in the same neighborhood.
+	if med < 10 || med > 80 {
+		t.Errorf("median AS count = %d, want within [10, 80] (paper: 25)", med)
+	}
+}
+
+func TestCalibrationShape(t *testing.T) {
+	// Countries the paper singles out must have the infrastructure
+	// character that drives its findings.
+	td := MustByCode("TD") // Chad: slowest resolutions
+	se := MustByCode("SE") // Sweden: fast
+	if td.BandwidthMbps >= se.BandwidthMbps {
+		t.Error("Chad bandwidth >= Sweden bandwidth")
+	}
+	if td.ResolverOverheadMs <= se.ResolverOverheadMs {
+		t.Error("Chad resolver overhead <= Sweden")
+	}
+	// Brazil and Indonesia: poor default resolvers (the source of
+	// their DoH speedups) despite mid-tier bandwidth.
+	br := MustByCode("BR")
+	if br.ResolverOverheadMs < 25 {
+		t.Errorf("Brazil resolver overhead = %f, want >= 25 (paper: DoH speedup)", br.ResolverOverheadMs)
+	}
+	id := MustByCode("ID")
+	if id.ResolverOverheadMs < 40 {
+		t.Errorf("Indonesia resolver overhead = %f (paper: 179 ms DoH speedup)", id.ResolverOverheadMs)
+	}
+}
+
+func TestRegionsPopulated(t *testing.T) {
+	byRegion := map[Region]int{}
+	for _, ct := range All() {
+		byRegion[ct.Region]++
+	}
+	for _, r := range []Region{Africa, Asia, Europe, MiddleEast, NorthAmerica, SouthAmerica, Oceania} {
+		if byRegion[r] < 5 {
+			t.Errorf("region %s has only %d countries", r, byRegion[r])
+		}
+	}
+}
+
+func TestSuperProxyCountriesWellProvisioned(t *testing.T) {
+	// The 11 Super-Proxy countries are major markets: each must have
+	// substantial exit-node availability and fast broadband.
+	for _, ct := range SuperProxyCountries() {
+		if ct.ExitNodeWeight < 50 {
+			t.Errorf("%s: weight %f, Super-Proxy countries are big markets", ct.Code, ct.ExitNodeWeight)
+		}
+		if !ct.Fast() {
+			t.Errorf("%s: not fast broadband", ct.Code)
+		}
+	}
+}
+
+func TestExcludedCountriesAreThinMarkets(t *testing.T) {
+	// Exclusion in the paper comes from scarcity (or censorship);
+	// excluded entries must have weights below the 10-client bar at
+	// default scale.
+	for _, ct := range All() {
+		if !IsExcluded(ct.Code) {
+			continue
+		}
+		if ct.ExitNodeWeight*2.7 >= 28 {
+			t.Errorf("%s: weight %f would clear the inclusion bar", ct.Code, ct.ExitNodeWeight)
+		}
+	}
+}
+
+func TestTerritoriesPresent(t *testing.T) {
+	for _, code := range []string{"PR", "GU", "RE", "NC", "GI", "FO"} {
+		if _, ok := ByCode(code); !ok {
+			t.Errorf("territory %s missing", code)
+		}
+	}
+	if len(All()) != 224 {
+		t.Errorf("dataset has %d entries, want the paper's 224", len(All()))
+	}
+}
