@@ -1,11 +1,14 @@
-// Command dohquery is a dig-like lookup tool speaking both DoH
-// (RFC 8484) and conventional Do53.
+// Command dohquery is a dig-like lookup tool speaking DoH (RFC 8484),
+// DoT (RFC 7858), and conventional Do53 through the unified resolver
+// API, with optional retry/hedging policy.
 //
 // Usage:
 //
 //	dohquery -doh https://127.0.0.1:8443/dns-query example.com A
 //	dohquery -do53 127.0.0.1:5353 example.com AAAA
-//	dohquery -doh https://... -n 5 example.com A   # reuse the connection
+//	dohquery -dot 127.0.0.1:8853 -insecure example.com A
+//	dohquery -doh https://... -n 5 example.com A       # reuse the connection
+//	dohquery -do53 ... -retries 3 -hedge 50ms example.com
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -20,6 +24,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/dohclient"
 	"repro/internal/dot"
+	"repro/internal/resolver"
 	"repro/internal/tlsutil"
 )
 
@@ -30,11 +35,14 @@ func main() {
 	insecure := flag.Bool("insecure", false, "skip TLS certificate verification (self-signed test servers)")
 	n := flag.Int("n", 1, "number of queries over one connection (DoHN measurement)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-query timeout")
+	retries := flag.Int("retries", 0, "max retry attempts on failure (0 disables retry)")
+	hedge := flag.Duration("hedge", 0, "hedging delay: launch a second attempt if no answer after this long (0 disables)")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "per-attempt timeout inside the retry loop (0 disables)")
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) < 1 || (*dohURL == "" && *do53 == "" && *dotAddr == "") {
-		fmt.Fprintln(os.Stderr, "usage: dohquery (-doh URL | -do53 ADDR | -dot ADDR) [-n N] name [type]")
+		fmt.Fprintln(os.Stderr, "usage: dohquery (-doh URL | -do53 ADDR | -dot ADDR) [-n N] [-retries K] [-hedge D] name [type]")
 		os.Exit(2)
 	}
 	name := dnswire.NewName(args[0])
@@ -64,67 +72,75 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*n)*(*timeout))
 	defer cancel()
 
-	if *dohURL != "" {
-		opts := []dohclient.Option{}
-		if *insecure {
-			opts = append(opts, dohclient.WithInsecureTLS())
-		}
-		c, err := dohclient.New(*dohURL, opts...)
+	var base resolver.Resolver
+	switch {
+	case *dohURL != "":
+		opts := &dohclient.Options{InsecureTLS: *insecure, Timeout: *timeout}
+		c, err := dohclient.New(*dohURL, opts)
 		if err != nil {
 			fatal(err)
 		}
-		for i := 0; i < *n; i++ {
-			qname := name
-			if *n > 1 {
-				qname = dnswire.NewName(fmt.Sprintf("q%d-%s", i, name))
-			}
-			resp, timing, err := c.Query(ctx, qname, qtype)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf(";; query %d: total=%v dns=%v connect=%v tls=%v reused=%v\n",
-				i+1, timing.Total.Round(time.Microsecond), timing.DNSLookup.Round(time.Microsecond),
-				timing.Connect.Round(time.Microsecond), timing.TLSHandshake.Round(time.Microsecond), timing.Reused)
-			if i == *n-1 {
-				fmt.Print(resp)
-			}
-		}
-		return
-	}
-
-	if *dotAddr != "" {
+		base = resolver.NewDoH(c)
+	case *dotAddr != "":
 		c := &dot.Client{Addr: *dotAddr, Timeout: *timeout}
 		if *insecure {
 			c.TLSConfig = tlsutil.InsecureClientConfig()
 		}
 		defer c.Close()
-		for i := 0; i < *n; i++ {
-			qname := name
-			if *n > 1 {
-				qname = dnswire.NewName(fmt.Sprintf("q%d-%s", i, name))
-			}
-			resp, timing, err := c.Query(ctx, qname, qtype)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf(";; query %d: total=%v connect=%v tls=%v reused=%v\n",
-				i+1, timing.Total.Round(time.Microsecond), timing.Connect.Round(time.Microsecond),
-				timing.TLSHandshake.Round(time.Microsecond), timing.Reused)
-			if i == *n-1 {
-				fmt.Print(resp)
-			}
-		}
-		return
+		base = resolver.NewDoT(c)
+	default:
+		base = resolver.NewDo53(*do53, &dnsclient.Client{Timeout: *timeout})
 	}
 
-	var c dnsclient.Client
-	c.Timeout = *timeout
-	resp, rtt, err := c.Query(ctx, *do53, name, qtype)
-	if err != nil {
-		fatal(err)
+	metrics := &resolver.Metrics{}
+	pol := resolver.Policy{
+		AttemptTimeout: *attemptTimeout,
+		HedgeDelay:     *hedge,
+		Metrics:        metrics,
 	}
-	fmt.Printf(";; Do53 query time: %v\n", rtt.Round(time.Microsecond))
-	fmt.Print(resp)
+	if *retries > 0 {
+		pol.Retry = &resolver.RetryPolicy{MaxAttempts: *retries + 1}
+	}
+	res := resolver.Apply(base, pol)
+
+	for i := 0; i < *n; i++ {
+		qname := name
+		if *n > 1 {
+			qname = dnswire.NewName(fmt.Sprintf("q%d-%s", i, name))
+		}
+		resp, timing, err := res.Resolve(ctx, resolver.Query(qname, qtype))
+		if err != nil {
+			fatal(err)
+		}
+		printTiming(i+1, timing)
+		if i == *n-1 {
+			fmt.Print(resp)
+		}
+	}
+	snap := metrics.Snapshot()
+	if snap.Retries > 0 || snap.Hedges > 0 || snap.Failures > 0 {
+		fmt.Printf(";; policy: attempts=%d retries=%d hedges=%d failures=%d\n",
+			snap.Attempts, snap.Retries, snap.Hedges, snap.Failures)
+	}
+}
+
+// printTiming renders the unified per-phase breakdown, identical for
+// every transport (phases a transport doesn't have read as 0s).
+func printTiming(i int, t resolver.Timing) {
+	b := t.Breakdown()
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		if k == "total" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf(";; query %d: total=%v", i, t.Total.Round(time.Microsecond))
+	for _, k := range keys {
+		fmt.Printf(" %s=%v", k, b[k].Round(time.Microsecond))
+	}
+	fmt.Printf(" attempts=%d reused=%v\n", t.Attempts, t.Reused)
 }
 
 func fatal(err error) {

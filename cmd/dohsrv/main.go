@@ -19,6 +19,7 @@ import (
 	"repro/internal/dohserver"
 	"repro/internal/dot"
 	"repro/internal/recursive"
+	"repro/internal/resolver"
 	"repro/internal/tlsutil"
 )
 
@@ -33,7 +34,16 @@ func main() {
 	flag.Parse()
 
 	res := recursive.New(nil)
-	res.AddZone(dnswire.NewName(*zone), &recursive.SocketUpstream{Addr: *upstream})
+	// Forwarding runs on the unified resolver API: Do53 transport with
+	// one retry and a per-attempt timeout, so a single dropped UDP
+	// datagram to the authoritative server no longer fails the whole
+	// DoH request.
+	res.AddZone(dnswire.NewName(*zone), resolver.UpstreamAdapter{
+		R: resolver.Apply(resolver.NewDo53(*upstream, nil), resolver.Policy{
+			Retry:          &resolver.RetryPolicy{MaxAttempts: 2},
+			AttemptTimeout: 3 * time.Second,
+		}),
+	})
 	handler := dohserver.NewHandler(res)
 
 	if *dotListen != "" {

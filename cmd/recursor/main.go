@@ -19,10 +19,24 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/dnswire"
 	"repro/internal/recursive"
+	"repro/internal/resolver"
 )
+
+// upstreamFor builds a forwarding upstream on the unified resolver
+// API: Do53 transport under a retry policy (attempts and per-attempt
+// timeout from flags), adapted to the recursive resolver's Upstream
+// shape.
+func upstreamFor(addr string, attempts int, timeout time.Duration) recursive.Upstream {
+	base := resolver.NewDo53(addr, nil)
+	return resolver.UpstreamAdapter{R: resolver.Apply(base, resolver.Policy{
+		Retry:          &resolver.RetryPolicy{MaxAttempts: attempts},
+		AttemptTimeout: timeout,
+	})}
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5353", "UDP listen address")
@@ -31,6 +45,8 @@ func main() {
 	zones := flag.String("zone", "", "comma-separated zone=addr overrides routed past the default upstream")
 	cacheSize := flag.Int("cache", 65536, "cache entries")
 	minimize := flag.Bool("minimize", false, "QNAME minimization (RFC 7816) in iterative mode")
+	attempts := flag.Int("upstream-attempts", 2, "max attempts per upstream query (retries on timeout/drop)")
+	upstreamTimeout := flag.Duration("upstream-timeout", 3*time.Second, "per-attempt upstream timeout")
 	flag.Parse()
 
 	if *forward == "" && *roots == "" {
@@ -46,7 +62,7 @@ func main() {
 			MinimizeQNames: *minimize,
 		})
 	default:
-		res.SetDefault(&recursive.SocketUpstream{Addr: *forward})
+		res.SetDefault(upstreamFor(*forward, *attempts, *upstreamTimeout))
 	}
 	if *zones != "" {
 		for _, pair := range strings.Split(*zones, ",") {
@@ -54,7 +70,7 @@ func main() {
 			if !ok {
 				log.Fatalf("recursor: bad -zone entry %q (want zone=addr)", pair)
 			}
-			res.AddZone(dnswire.NewName(zone), &recursive.SocketUpstream{Addr: addr})
+			res.AddZone(dnswire.NewName(zone), upstreamFor(addr, *attempts, *upstreamTimeout))
 		}
 	}
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/proxynet"
+	"repro/internal/resolver"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 	importDir := flag.String("import", "", "directory with a dataset release to analyze instead of running a campaign")
 	timeline := flag.String("timeline", "", "print one sample measurement's 22-step Figure-2 timeline for a country code and exit")
 	figures := flag.String("figures", "", "directory to write plottable figure series (figure*.csv)")
+	transports := flag.String("transports", "", "comma-separated transports to measure (do53,doh,dot; default: the paper's do53,doh)")
 	flag.Parse()
 
 	if *timeline != "" {
@@ -53,6 +55,16 @@ func main() {
 
 	cfg := campaign.DefaultConfig(*seed)
 	cfg.ClientScale = *scale
+	if *transports != "" {
+		cfg.Transports = cfg.Transports[:0]
+		for _, s := range strings.Split(*transports, ",") {
+			kind, err := resolver.ParseKind(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("worldstudy: %v", err)
+			}
+			cfg.Transports = append(cfg.Transports, kind)
+		}
+	}
 
 	start := time.Now()
 	var suite *experiments.Suite
@@ -70,6 +82,14 @@ func main() {
 		len(suite.Dataset.Clients),
 		len(suite.Analysis.AnalyzedCountryCodes()),
 		suite.Dataset.DiscardedMismatch)
+	for _, kind := range resolver.Kinds() {
+		stats, ok := suite.Dataset.Transports[kind]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "worldstudy: %-5s %d queries, %d discarded, %d loss events, %d blocked\n",
+			kind, stats.Queries, stats.Discards, stats.LossEvents, stats.Blocked)
+	}
 
 	if *figures != "" {
 		if err := suite.WriteFigureData(*figures, 0); err != nil {

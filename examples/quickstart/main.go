@@ -57,7 +57,7 @@ func main() {
 
 	// 4. Resolve a unique name: cold, then over the warm connection.
 	client, err := dohclient.New(doh.URL+dohserver.DefaultPath,
-		dohclient.WithHTTPClient(doh.Client()))
+		&dohclient.Options{HTTPClient: doh.Client()})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/geoip"
 	"repro/internal/proxynet"
+	"repro/internal/resolver"
 	"repro/internal/world"
 )
 
@@ -42,6 +43,11 @@ type Config struct {
 	ClientScale float64
 	// Providers lists the DoH services to measure; nil means all four.
 	Providers []anycast.ProviderID
+	// Transports selects the transports each client is measured over.
+	// Nil or empty means the paper's set: Do53 (the client's default
+	// resolver) plus DoH. Adding resolver.DoT also runs the extension
+	// DoT measurement per provider. Run rejects unknown kinds.
+	Transports []resolver.Kind
 	// AtlasProbes is the probe count per Super-Proxy country for the
 	// Do53 remedy.
 	AtlasProbes int
@@ -66,7 +72,35 @@ func DefaultConfig(seed int64) Config {
 		MaxClients:    282,
 		ClientScale:   2.7,
 		AtlasProbes:   25,
+		Transports:    DefaultTransports(),
 	}
+}
+
+// DefaultTransports is the paper's measurement set: every client's
+// default Do53 resolver plus the DoH providers.
+func DefaultTransports() []resolver.Kind {
+	return []resolver.Kind{resolver.Do53, resolver.DoH}
+}
+
+// normalizeTransports validates and deduplicates the configured
+// transport set, applying the paper's default when empty.
+func normalizeTransports(kinds []resolver.Kind) ([]resolver.Kind, error) {
+	if len(kinds) == 0 {
+		return DefaultTransports(), nil
+	}
+	seen := make(map[resolver.Kind]bool, len(kinds))
+	out := make([]resolver.Kind, 0, len(kinds))
+	for _, k := range kinds {
+		if !k.Valid() {
+			return nil, fmt.Errorf("campaign: unknown transport %q (want do53, doh, or dot)", k)
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, k)
+	}
+	return out, nil
 }
 
 // DoHResult is a client's (averaged) DoH measurement for one provider.
@@ -98,6 +132,20 @@ func (r DoHResult) PotentialImprovementKm() float64 {
 	return d
 }
 
+// DoTResult is a client's (averaged) DoT measurement for one provider
+// when the extension DoT transport is enabled.
+type DoTResult struct {
+	// TDoTMs and TDoTRMs are the first-query and reused-connection
+	// resolution times (milliseconds, averaged over unblocked runs).
+	TDoTMs  float64
+	TDoTRMs float64
+	// Blocked reports that every run was dropped by port-853
+	// filtering.
+	Blocked bool
+	// Valid reports at least one unblocked measurement.
+	Valid bool
+}
+
 // ClientRecord is one unique client in the dataset.
 type ClientRecord struct {
 	// ClientID is the proxy network's stable exit-node identifier.
@@ -110,6 +158,9 @@ type ClientRecord struct {
 	Pos geo.Point
 	// DoH maps provider -> result.
 	DoH map[anycast.ProviderID]DoHResult
+	// DoT maps provider -> result; nil unless the campaign's
+	// Transports include resolver.DoT.
+	DoT map[anycast.ProviderID]DoTResult
 	// Do53Ms is the default-resolver resolution time (milliseconds).
 	Do53Ms float64
 	// Do53Valid is false in the 11 Super-Proxy countries.
@@ -131,8 +182,38 @@ type Dataset struct {
 	// DiscardedImplausible counts measurements dropped by the
 	// estimator's plausibility checks.
 	DiscardedImplausible int
+	// Transports reports per-transport measurement accounting: how
+	// many queries ran, how many were discarded, and how many wire
+	// loss events they absorbed (paper §3.5's drop handling, reported
+	// per transport instead of silently lost).
+	Transports map[resolver.Kind]TransportStats
 	// Seed echoes the campaign seed.
 	Seed int64
+}
+
+// TransportStats is the per-transport drop accounting for a campaign.
+type TransportStats struct {
+	// Queries counts measurement runs issued on the transport.
+	Queries int
+	// Discards counts runs dropped by the estimator's plausibility
+	// checks (or, for Do53 in Super-Proxy countries, the §3.5
+	// invalidation) — plus blocked DoT sessions.
+	Discards int
+	// LossEvents counts simulated retransmission-timeout events on
+	// the wire during the transport's measurement runs.
+	LossEvents int64
+	// Blocked counts DoT sessions dropped by port-853 filtering
+	// (always zero for other transports).
+	Blocked int
+}
+
+// merge accumulates per-country stats into the dataset total.
+func (t TransportStats) merge(o TransportStats) TransportStats {
+	t.Queries += o.Queries
+	t.Discards += o.Discards
+	t.LossEvents += o.LossEvents
+	t.Blocked += o.Blocked
+	return t
 }
 
 // Run executes the campaign.
@@ -150,8 +231,20 @@ func Run(cfg Config) (*Dataset, error) {
 	if providers == nil {
 		providers = anycast.ProviderIDs()
 	}
+	transports, err := normalizeTransports(cfg.Transports)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Transports = transports
 
-	ds := &Dataset{AtlasDo53Ms: make(map[string]float64), Seed: cfg.Seed}
+	ds := &Dataset{
+		AtlasDo53Ms: make(map[string]float64),
+		Transports:  make(map[resolver.Kind]TransportStats, len(transports)),
+		Seed:        cfg.Seed,
+	}
+	for _, k := range transports {
+		ds.Transports[k] = TransportStats{}
+	}
 
 	countries := cfg.Countries
 	if countries == nil {
@@ -176,8 +269,7 @@ func Run(cfg Config) (*Dataset, error) {
 	// pure function of the configuration: the same records come back
 	// whether countries run serially or on N workers.
 	results := make([][]ClientRecord, len(countries))
-	discardsM := make([]int, len(countries))
-	discardsI := make([]int, len(countries))
+	accounts := make([]countryAccounting, len(countries))
 	errs := make([]error, len(countries))
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -186,7 +278,7 @@ func Run(cfg Config) (*Dataset, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range work {
-				results[idx], discardsM[idx], discardsI[idx], errs[idx] =
+				results[idx], accounts[idx], errs[idx] =
 					measureCountry(cfg, countries[idx], providers)
 			}
 		}()
@@ -203,8 +295,11 @@ func Run(cfg Config) (*Dataset, error) {
 	}
 	for i := range countries {
 		ds.Clients = append(ds.Clients, results[i]...)
-		ds.DiscardedMismatch += discardsM[i]
-		ds.DiscardedImplausible += discardsI[i]
+		ds.DiscardedMismatch += accounts[i].mismatch
+		ds.DiscardedImplausible += accounts[i].implausible
+		for kind, stats := range accounts[i].transports {
+			ds.Transports[kind] = ds.Transports[kind].merge(stats)
+		}
 	}
 
 	// Remedy: Atlas Do53 medians for the Super-Proxy countries. The
@@ -307,15 +402,56 @@ func countrySeed(seed int64, code string) int64 {
 	return int64(h.Sum64() & 0x7fffffffffffffff)
 }
 
+// countryAccounting carries one country's drop accounting back to Run.
+type countryAccounting struct {
+	mismatch    int
+	implausible int
+	transports  map[resolver.Kind]TransportStats
+}
+
+// lossTracker attributes the simulator's loss events to the
+// measurement that absorbed them, by snapshotting the counter around
+// each (sequential) measurement call.
+type lossTracker struct {
+	sim  *proxynet.Sim
+	last int64
+}
+
+func (lt *lossTracker) delta() int64 {
+	now := lt.sim.Stats().LossEvents
+	d := now - lt.last
+	lt.last = now
+	return d
+}
+
 // measureCountry provisions and measures all of one country's clients
 // on a dedicated simulator.
-func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]ClientRecord, int, int, error) {
+func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]ClientRecord, countryAccounting, error) {
+	acct := countryAccounting{transports: make(map[resolver.Kind]TransportStats)}
 	ct, ok := world.ByCode(code)
 	if !ok {
-		return nil, 0, 0, fmt.Errorf("campaign: unknown country %q", code)
+		return nil, acct, fmt.Errorf("campaign: unknown country %q", code)
 	}
 	sim := proxynet.NewSim(countrySeed(cfg.Seed, code))
 	locator := geoip.NewService(sim.Alloc)
+	losses := &lossTracker{sim: sim}
+
+	wants := make(map[resolver.Kind]bool, len(cfg.Transports))
+	for _, k := range cfg.Transports {
+		wants[k] = true
+	}
+	account := func(kind resolver.Kind, discarded, blocked bool) {
+		ts := acct.transports[kind]
+		ts.Queries++
+		ts.LossEvents += losses.delta()
+		if discarded {
+			ts.Discards++
+		}
+		if blocked {
+			ts.Blocked++
+		}
+		acct.transports[kind] = ts
+	}
 
 	n := int(ct.ExitNodeWeight * cfg.ClientScale)
 	if n > cfg.MaxClients {
@@ -325,7 +461,6 @@ func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]
 		n = 1
 	}
 	var out []ClientRecord
-	var discardedMismatch, discardedImplausible int
 	uuidSeq := 0
 	nextName := func() string {
 		uuidSeq++
@@ -334,13 +469,13 @@ func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]
 	for i := 0; i < n; i++ {
 		node, err := sim.SelectExitNode(code)
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, acct, err
 		}
 		// Country cross-check (paper §3.5): the proxy network's label
 		// vs the geolocation service's for the /24.
 		located, ok := locator.Locate(node.Addr)
 		if !ok || located != code {
-			discardedMismatch++
+			acct.mismatch++
 			continue
 		}
 		rec := ClientRecord{
@@ -351,48 +486,81 @@ func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]
 			DoH:          make(map[anycast.ProviderID]DoHResult),
 			NSDistanceKm: geo.DistanceKm(node.Pos, sim.Lab.Pos),
 		}
-		for _, pid := range providers {
-			var sumDoH, sumDoHR float64
-			var got int
-			var res DoHResult
-			for run := 0; run < cfg.RunsPerClient; run++ {
-				obs, gt := sim.MeasureDoH(node, pid, nextName())
-				est, err := core.EstimateDoH(obs)
-				if err != nil {
-					discardedImplausible++
-					continue
+		if wants[resolver.DoH] {
+			for _, pid := range providers {
+				var sumDoH, sumDoHR float64
+				var got int
+				var res DoHResult
+				for run := 0; run < cfg.RunsPerClient; run++ {
+					obs, gt := sim.MeasureDoH(node, pid, nextName())
+					est, err := core.EstimateDoH(obs)
+					account(resolver.DoH, err != nil, false)
+					if err != nil {
+						acct.implausible++
+						continue
+					}
+					sumDoH += float64(est.TDoH) / float64(time.Millisecond)
+					sumDoHR += float64(est.TDoHR) / float64(time.Millisecond)
+					got++
+					res.PoPID = gt.PoP.ID
+					res.PoPCountry = gt.PoP.CountryCode
+					res.PoPDistanceKm = gt.PoPDistanceKm
+					res.NearestPoPDistanceKm = gt.NearestPoPDistanceKm
 				}
-				sumDoH += float64(est.TDoH) / float64(time.Millisecond)
-				sumDoHR += float64(est.TDoHR) / float64(time.Millisecond)
-				got++
-				res.PoPID = gt.PoP.ID
-				res.PoPCountry = gt.PoP.CountryCode
-				res.PoPDistanceKm = gt.PoPDistanceKm
-				res.NearestPoPDistanceKm = gt.NearestPoPDistanceKm
+				if got > 0 {
+					res.TDoHMs = sumDoH / float64(got)
+					res.TDoHRMs = sumDoHR / float64(got)
+					res.Valid = true
+				}
+				rec.DoH[pid] = res
 			}
-			if got > 0 {
-				res.TDoHMs = sumDoH / float64(got)
-				res.TDoHRMs = sumDoHR / float64(got)
-				res.Valid = true
-			}
-			rec.DoH[pid] = res
 		}
-		var sum53 float64
-		var got53 int
-		for run := 0; run < cfg.RunsPerClient; run++ {
-			obs, _ := sim.MeasureDo53(node, nextName())
-			v, err := core.EstimateDo53(obs)
-			if err != nil {
-				break // Super-Proxy country: no runs will work
+		if wants[resolver.Do53] {
+			var sum53 float64
+			var got53 int
+			for run := 0; run < cfg.RunsPerClient; run++ {
+				obs, _ := sim.MeasureDo53(node, nextName())
+				v, err := core.EstimateDo53(obs)
+				account(resolver.Do53, err != nil, false)
+				if err != nil {
+					break // Super-Proxy country: no runs will work
+				}
+				sum53 += float64(v) / float64(time.Millisecond)
+				got53++
 			}
-			sum53 += float64(v) / float64(time.Millisecond)
-			got53++
+			if got53 > 0 {
+				rec.Do53Ms = sum53 / float64(got53)
+				rec.Do53Valid = true
+			}
 		}
-		if got53 > 0 {
-			rec.Do53Ms = sum53 / float64(got53)
-			rec.Do53Valid = true
+		if wants[resolver.DoT] {
+			rec.DoT = make(map[anycast.ProviderID]DoTResult)
+			for _, pid := range providers {
+				var sumDoT, sumDoTR float64
+				var got, blocked int
+				for run := 0; run < cfg.RunsPerClient; run++ {
+					obs, gt := sim.MeasureDoT(node, pid, nextName())
+					account(resolver.DoT, obs.Blocked, obs.Blocked)
+					if obs.Blocked {
+						blocked++
+						continue
+					}
+					// The simulator exposes ground truth for DoT (the
+					// extension transport has no estimator of its own).
+					sumDoT += float64(gt.TDoT) / float64(time.Millisecond)
+					sumDoTR += float64(gt.TDoTR) / float64(time.Millisecond)
+					got++
+				}
+				res := DoTResult{Blocked: got == 0 && blocked > 0}
+				if got > 0 {
+					res.TDoTMs = sumDoT / float64(got)
+					res.TDoTRMs = sumDoTR / float64(got)
+					res.Valid = true
+				}
+				rec.DoT[pid] = res
+			}
 		}
 		out = append(out, rec)
 	}
-	return out, discardedMismatch, discardedImplausible, nil
+	return out, acct, nil
 }

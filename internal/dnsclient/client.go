@@ -68,6 +68,46 @@ func RandomID() uint16 {
 	return binary.BigEndian.Uint16(b[:])
 }
 
+// Timing is the per-phase breakdown of a Do53 exchange, with field
+// names unified across the transport clients (dohclient.Timing,
+// dot.Timing). Do53 is connectionless: there is no name lookup,
+// connect, or TLS phase to account separately, so RoundTrip equals
+// Total and the setup fields stay zero (TCP-fallback dial time is
+// folded into RoundTrip).
+type Timing struct {
+	// DNSLookup is zero: the server is addressed by literal.
+	DNSLookup time.Duration
+	// Connect is zero for UDP exchanges.
+	Connect time.Duration
+	// TLSHandshake is zero: Do53 is cleartext.
+	TLSHandshake time.Duration
+	// RoundTrip is the query/response exchange time.
+	RoundTrip time.Duration
+	// Total is the wall-clock time of the whole exchange.
+	Total time.Duration
+	// Reused is false: every exchange stands alone.
+	Reused bool
+}
+
+// Breakdown returns the per-phase durations under the stable keys
+// shared by all transport timing structs.
+func (t Timing) Breakdown() map[string]time.Duration {
+	return map[string]time.Duration{
+		"dns_lookup":    t.DNSLookup,
+		"connect":       t.Connect,
+		"tls_handshake": t.TLSHandshake,
+		"round_trip":    t.RoundTrip,
+		"total":         t.Total,
+	}
+}
+
+// ExchangeTimed is Exchange returning the unified Timing breakdown
+// instead of a bare duration (the form the resolver adapters consume).
+func (c *Client) ExchangeTimed(ctx context.Context, addr string, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+	resp, rtt, err := c.Exchange(ctx, addr, q)
+	return resp, Timing{RoundTrip: rtt, Total: rtt}, err
+}
+
 // Query resolves (name, type) against server addr and returns the
 // response message along with the measured exchange latency.
 func (c *Client) Query(ctx context.Context, addr string, name dnswire.Name, typ dnswire.Type) (*dnswire.Message, time.Duration, error) {

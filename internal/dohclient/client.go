@@ -45,6 +45,19 @@ type Timing struct {
 	Reused bool
 }
 
+// Breakdown returns the per-phase durations under the stable keys
+// shared by all transport timing structs (dnsclient.Timing,
+// dot.Timing).
+func (t Timing) Breakdown() map[string]time.Duration {
+	return map[string]time.Duration{
+		"dns_lookup":    t.DNSLookup,
+		"connect":       t.Connect,
+		"tls_handshake": t.TLSHandshake,
+		"round_trip":    t.RoundTrip,
+		"total":         t.Total,
+	}
+}
+
 // Client is a DoH client bound to one server URL. The zero value is
 // not usable; construct with New.
 type Client struct {
@@ -64,35 +77,26 @@ type Stats struct {
 	WireErrors int64
 }
 
-// Option configures a Client.
-type Option func(*Client)
-
-// WithHTTPClient substitutes the underlying *http.Client (tests,
-// custom transports, proxied connections).
-func WithHTTPClient(hc *http.Client) Option {
-	return func(c *Client) { c.hc = hc }
-}
-
-// WithPOST switches the client to RFC 8484 POST requests.
-func WithPOST() Option {
-	return func(c *Client) { c.usePOST = true }
-}
-
-// WithInsecureTLS accepts any server certificate; for loopback tests
-// with self-signed certificates only.
-func WithInsecureTLS() Option {
-	return func(c *Client) {
-		tr := &http.Transport{
-			TLSClientConfig:     &tls.Config{InsecureSkipVerify: true},
-			MaxIdleConnsPerHost: 4,
-		}
-		c.hc = &http.Client{Transport: tr}
-	}
+// Options configures a Client. The zero value (and a nil *Options)
+// gives the defaults: GET requests, certificate verification on, a
+// pooled transport with a 30s overall timeout.
+type Options struct {
+	// HTTPClient substitutes the underlying *http.Client (tests,
+	// custom transports, proxied connections). It overrides
+	// InsecureTLS and Timeout.
+	HTTPClient *http.Client
+	// POST switches the client to RFC 8484 POST requests.
+	POST bool
+	// InsecureTLS accepts any server certificate; for loopback tests
+	// with self-signed certificates only.
+	InsecureTLS bool
+	// Timeout bounds each exchange at the HTTP layer (default 30s).
+	Timeout time.Duration
 }
 
 // New creates a client for a DoH endpoint URL such as
-// "https://127.0.0.1:8443/dns-query".
-func New(serverURL string, opts ...Option) (*Client, error) {
+// "https://127.0.0.1:8443/dns-query". opts may be nil for defaults.
+func New(serverURL string, opts *Options) (*Client, error) {
 	u, err := url.Parse(serverURL)
 	if err != nil {
 		return nil, fmt.Errorf("dohclient: parsing server URL: %w", err)
@@ -100,17 +104,70 @@ func New(serverURL string, opts ...Option) (*Client, error) {
 	if u.Scheme != "https" && u.Scheme != "http" {
 		return nil, fmt.Errorf("dohclient: unsupported scheme %q", u.Scheme)
 	}
-	c := &Client{
-		serverURL: u,
-		hc: &http.Client{
-			Transport: &http.Transport{MaxIdleConnsPerHost: 4},
-			Timeout:   30 * time.Second,
-		},
+	if opts == nil {
+		opts = &Options{}
 	}
-	for _, opt := range opts {
-		opt(c)
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	c := &Client{serverURL: u, usePOST: opts.POST}
+	switch {
+	case opts.HTTPClient != nil:
+		c.hc = opts.HTTPClient
+	case opts.InsecureTLS:
+		c.hc = &http.Client{
+			Transport: &http.Transport{
+				TLSClientConfig:     &tls.Config{InsecureSkipVerify: true},
+				MaxIdleConnsPerHost: 4,
+			},
+			Timeout: timeout,
+		}
+	default:
+		c.hc = &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: 4},
+			Timeout:   timeout,
+		}
 	}
 	return c, nil
+}
+
+// Option configures a Client through the legacy variadic constructor.
+//
+// Deprecated: set the corresponding Options field and call New.
+type Option func(*Options)
+
+// WithHTTPClient substitutes the underlying *http.Client.
+//
+// Deprecated: set Options.HTTPClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(o *Options) { o.HTTPClient = hc }
+}
+
+// WithPOST switches the client to RFC 8484 POST requests.
+//
+// Deprecated: set Options.POST.
+func WithPOST() Option {
+	return func(o *Options) { o.POST = true }
+}
+
+// WithInsecureTLS accepts any server certificate.
+//
+// Deprecated: set Options.InsecureTLS.
+func WithInsecureTLS() Option {
+	return func(o *Options) { o.InsecureTLS = true }
+}
+
+// NewLegacy is the pre-Options variadic constructor, kept so call
+// sites written against the old API keep compiling.
+//
+// Deprecated: use New with an *Options struct.
+func NewLegacy(serverURL string, opts ...Option) (*Client, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return New(serverURL, &o)
 }
 
 // Stats returns a snapshot of the counters.

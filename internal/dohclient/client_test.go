@@ -34,7 +34,7 @@ func newStack(t *testing.T) (*httptest.Server, *dohserver.Handler) {
 
 func TestQueryGET(t *testing.T) {
 	srv, _ := newStack(t)
-	c, err := New(srv.URL + dohserver.DefaultPath)
+	c, err := New(srv.URL+dohserver.DefaultPath, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestQueryGET(t *testing.T) {
 
 func TestQueryPOST(t *testing.T) {
 	srv, _ := newStack(t)
-	c, err := New(srv.URL+dohserver.DefaultPath, WithPOST())
+	c, err := New(srv.URL+dohserver.DefaultPath, &Options{POST: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestQueryPOST(t *testing.T) {
 
 func TestConnectionReuseDetected(t *testing.T) {
 	srv, _ := newStack(t)
-	c, err := New(srv.URL + dohserver.DefaultPath)
+	c, err := New(srv.URL+dohserver.DefaultPath, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestTLSEndToEnd(t *testing.T) {
 	srv := httptest.NewTLSServer(dohserver.NewHandler(r).Mux())
 	defer srv.Close()
 
-	c, err := New(srv.URL+dohserver.DefaultPath, WithInsecureTLS())
+	c, err := New(srv.URL+dohserver.DefaultPath, &Options{InsecureTLS: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,10 +144,10 @@ func TestTLSEndToEnd(t *testing.T) {
 }
 
 func TestRejectsBadScheme(t *testing.T) {
-	if _, err := New("ftp://example.com/dns-query"); err == nil {
+	if _, err := New("ftp://example.com/dns-query", nil); err == nil {
 		t.Fatal("New accepted ftp scheme")
 	}
-	if _, err := New("://bad"); err == nil {
+	if _, err := New("://bad", nil); err == nil {
 		t.Fatal("New accepted malformed URL")
 	}
 }
@@ -155,7 +155,7 @@ func TestRejectsBadScheme(t *testing.T) {
 func TestHTTPErrorSurfaced(t *testing.T) {
 	srv := httptest.NewServer(nil) // 404 for everything
 	defer srv.Close()
-	c, err := New(srv.URL + "/dns-query")
+	c, err := New(srv.URL+"/dns-query", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestWrongContentTypeRejected(t *testing.T) {
 		w.Write([]byte("not dns"))
 	}))
 	defer srv.Close()
-	c, err := New(srv.URL + "/dns-query")
+	c, err := New(srv.URL+"/dns-query", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestGarbageBodyRejected(t *testing.T) {
 		w.Write([]byte{1, 2, 3})
 	}))
 	defer srv.Close()
-	c, err := New(srv.URL + "/dns-query")
+	c, err := New(srv.URL+"/dns-query", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestIDMismatchRejected(t *testing.T) {
 		w.Write(wire)
 	}))
 	defer srv.Close()
-	c, err := New(srv.URL + "/dns-query")
+	c, err := New(srv.URL+"/dns-query", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestContextCancellation(t *testing.T) {
 	}))
 	defer srv.Close()
 	defer close(block)
-	c, err := New(srv.URL + "/dns-query")
+	c, err := New(srv.URL+"/dns-query", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestContextCancellation(t *testing.T) {
 
 func TestQueryJSON(t *testing.T) {
 	srv, _ := newStack(t)
-	c, err := New(srv.URL + dohserver.DefaultPath)
+	c, err := New(srv.URL+dohserver.DefaultPath, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestQueryJSON(t *testing.T) {
 
 func TestQueryJSONErrors(t *testing.T) {
 	srv, _ := newStack(t)
-	c, err := New(srv.URL + dohserver.DefaultPath)
+	c, err := New(srv.URL+dohserver.DefaultPath, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestHTTP2EndToEnd(t *testing.T) {
 	srv.StartTLS()
 	defer srv.Close()
 
-	c, err := New(srv.URL+"/dns-query", WithHTTPClient(srv.Client()))
+	c, err := New(srv.URL+"/dns-query", &Options{HTTPClient: srv.Client()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,14 +17,18 @@ import (
 
 	"repro/internal/dnsclient"
 	"repro/internal/dnswire"
-	"repro/internal/recursive"
 )
 
 // DefaultPort is the IANA-assigned DoT port.
 const DefaultPort = 853
 
-// Timing is the per-phase breakdown of a DoT exchange.
+// Timing is the per-phase breakdown of a DoT exchange, with field
+// names unified across the transport clients (dnsclient.Timing,
+// dohclient.Timing).
 type Timing struct {
+	// DNSLookup is zero: Addr is a literal host:port, so there is no
+	// bootstrap lookup to account.
+	DNSLookup time.Duration
 	// Connect is the TCP handshake time (zero on reuse).
 	Connect time.Duration
 	// TLSHandshake is the TLS establishment time (zero on reuse).
@@ -35,6 +39,18 @@ type Timing struct {
 	Total time.Duration
 	// Reused reports whether a pooled connection served the query.
 	Reused bool
+}
+
+// Breakdown returns the per-phase durations under the stable keys
+// shared by all transport timing structs.
+func (t Timing) Breakdown() map[string]time.Duration {
+	return map[string]time.Duration{
+		"dns_lookup":    t.DNSLookup,
+		"connect":       t.Connect,
+		"tls_handshake": t.TLSHandshake,
+		"round_trip":    t.RoundTrip,
+		"total":         t.Total,
+	}
 }
 
 // Client is a DoT client with a single pooled connection, mirroring
@@ -157,10 +173,19 @@ func (c *Client) closeLocked() {
 	}
 }
 
-// Server serves DoT by delegating to a recursive resolver.
+// Handler answers decoded DNS queries on behalf of the server. A
+// *recursive.Resolver satisfies it structurally; declaring the
+// interface here keeps this package free of a dependency on the
+// recursion layer (which the unified resolver API sits below).
+type Handler interface {
+	Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error)
+}
+
+// Server serves DoT by delegating to a Handler (typically a caching
+// recursive resolver).
 type Server struct {
 	// Resolver answers decoded queries.
-	Resolver *recursive.Resolver
+	Resolver Handler
 	// TLSConfig must carry a certificate.
 	TLSConfig *tls.Config
 
@@ -169,7 +194,7 @@ type Server struct {
 }
 
 // NewServer builds a DoT server.
-func NewServer(res *recursive.Resolver, cfg *tls.Config) *Server {
+func NewServer(res Handler, cfg *tls.Config) *Server {
 	return &Server{Resolver: res, TLSConfig: cfg}
 }
 

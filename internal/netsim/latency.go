@@ -3,6 +3,7 @@ package netsim
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -68,6 +69,11 @@ type LatencyModel struct {
 	// adds LossPenalty (a retransmission timeout).
 	LossProb    float64
 	LossPenalty time.Duration
+	// LossCounter, when non-nil, is atomically incremented once per
+	// sampled loss event. Owners of a model (proxynet.Sim) use it to
+	// account for drops instead of losing them silently; Paths carry
+	// the pointer along, so losses on session paths are counted too.
+	LossCounter *int64
 }
 
 // DefaultLatencyModel returns the calibrated model.
@@ -147,11 +153,19 @@ func (m LatencyModel) OneWay(rng *rand.Rand, a, b Endpoint) time.Duration {
 	}
 	if m.LossProb > 0 && rng.Float64() < m.LossProb {
 		d += float64(m.LossPenalty)
+		m.countLoss()
 	}
 	if d < 0 {
 		d = 0
 	}
 	return time.Duration(d)
+}
+
+// countLoss bumps the owner's loss counter, if any.
+func (m LatencyModel) countLoss() {
+	if m.LossCounter != nil {
+		atomic.AddInt64(m.LossCounter, 1)
+	}
 }
 
 // RTT samples a jittered round-trip delay (two independent one-way

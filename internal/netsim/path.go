@@ -47,6 +47,7 @@ func (p Path) OneWay(rng *rand.Rand) time.Duration {
 	}
 	if p.model.LossProb > 0 && rng.Float64() < p.model.LossProb {
 		d += float64(p.model.LossPenalty)
+		p.model.countLoss()
 	}
 	if d < 0 {
 		d = 0

@@ -1,6 +1,7 @@
 package proxynet
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/anycast"
@@ -45,10 +46,12 @@ type DoTGroundTruth struct {
 // framing at the PoP (slightly lower service time), no DoH-specific
 // setup overhead, and port 853 exposure to port-oriented filtering.
 func (s *Sim) MeasureDoT(node *ExitNode, pid anycast.ProviderID, queryName string) (DoTObservation, DoTGroundTruth) {
+	atomic.AddInt64(&s.stats.dotMeasure, 1)
 	var obs DoTObservation
 	var gt DoTGroundTruth
 	if s.Rand.Float64() < DoTBlockProb {
 		obs.Blocked = true
+		atomic.AddInt64(&s.stats.dotBlocked, 1)
 		return obs, gt
 	}
 	provider := s.Providers[pid]

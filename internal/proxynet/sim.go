@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/anycast"
@@ -39,6 +40,51 @@ type Sim struct {
 	superProxies []netsim.Endpoint
 	superCodes   []string
 	exitCounter  int
+	stats        simCounters
+}
+
+// simCounters holds the event counters behind Stats. All fields are
+// updated atomically: campaigns read loss deltas between sequential
+// measurements, but the race detector must stay quiet when a Sim's
+// model escapes to helper services (Atlas probes share it).
+type simCounters struct {
+	lossEvents      int64
+	dotBlocked      int64
+	exitNodes       int64
+	dohMeasurements int64
+	do53Measure     int64
+	dotMeasure      int64
+}
+
+// SimStats is a snapshot of the simulator's event counters — the
+// accounting the paper's §3.5 drop handling needs. Before this
+// existed, loss events sampled by the latency model simply vanished
+// into longer delays with no way to assert on them.
+type SimStats struct {
+	// LossEvents counts retransmission-timeout loss events sampled on
+	// any path owned by this simulator.
+	LossEvents int64
+	// DoTBlocked counts DoT sessions dropped by port-853 filtering.
+	DoTBlocked int64
+	// ExitNodes counts provisioned exit nodes.
+	ExitNodes int64
+	// DoHMeasurements, Do53Measurements, and DoTMeasurements count
+	// measurement runs by transport.
+	DoHMeasurements  int64
+	Do53Measurements int64
+	DoTMeasurements  int64
+}
+
+// Stats returns a snapshot of the simulator's event counters.
+func (s *Sim) Stats() SimStats {
+	return SimStats{
+		LossEvents:       atomic.LoadInt64(&s.stats.lossEvents),
+		DoTBlocked:       atomic.LoadInt64(&s.stats.dotBlocked),
+		ExitNodes:        atomic.LoadInt64(&s.stats.exitNodes),
+		DoHMeasurements:  atomic.LoadInt64(&s.stats.dohMeasurements),
+		Do53Measurements: atomic.LoadInt64(&s.stats.do53Measure),
+		DoTMeasurements:  atomic.LoadInt64(&s.stats.dotMeasure),
+	}
 }
 
 // labPosition approximates the paper's US deployment (us-east).
@@ -54,6 +100,7 @@ func NewSim(seed int64) *Sim {
 		Lab:       netsim.Endpoint{Pos: labPosition, Country: world.MustByCode("US")},
 		Alloc:     geoip.NewAllocator(0),
 	}
+	s.Model.LossCounter = &s.stats.lossEvents
 	for _, ct := range world.SuperProxyCountries() {
 		s.superProxies = append(s.superProxies, netsim.Endpoint{
 			Pos: ct.Centroid, Country: ct,
@@ -124,6 +171,7 @@ func (s *Sim) SelectExitNode(countryCode string) (*ExitNode, error) {
 		return nil, err
 	}
 	s.exitCounter++
+	atomic.AddInt64(&s.stats.exitNodes, 1)
 	pos := geo.Jitter(ct.Centroid, 420, s.Rand.Float64(), s.Rand.Float64())
 	resolverPos := geo.Jitter(ct.Centroid, 120, s.Rand.Float64(), s.Rand.Float64())
 	node := &ExitNode{
@@ -250,6 +298,7 @@ func (s *Sim) sampleProxyTimeline() ProxyTimeline {
 //	20    response: PoP -> exit
 //	21-22 response: exit -> Super Proxy -> client
 func (s *Sim) MeasureDoH(node *ExitNode, pid anycast.ProviderID, queryName string) (DoHObservation, DoHGroundTruth) {
+	atomic.AddInt64(&s.stats.dohMeasurements, 1)
 	provider := s.Providers[pid]
 	pop := s.PoPFor(node, pid)
 	popEndpoint := netsim.Endpoint{Pos: pop.Pos, Country: world.MustByCode(pop.CountryCode)}
@@ -394,6 +443,7 @@ type Do53GroundTruth struct {
 // our authoritative server, plus the resolver's own processing
 // overhead (the paper's "default configuration" performance).
 func (s *Sim) MeasureDo53(node *ExitNode, queryName string) (Do53Observation, Do53GroundTruth) {
+	atomic.AddInt64(&s.stats.do53Measure, 1)
 	pathER := s.Model.NewPath(s.Rand, node.Endpoint, node.ResolverEndpoint)
 	pathRA := s.Model.NewPath(s.Rand, node.ResolverEndpoint, s.Lab)
 

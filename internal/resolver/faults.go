@@ -1,0 +1,171 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// ErrInjectedDrop is returned for attempts the fault injector drops;
+// the retry layer classifies it like any transport error.
+var ErrInjectedDrop = errors.New("resolver: injected drop")
+
+// Fault names one injected failure mode.
+type Fault string
+
+// The injectable faults.
+const (
+	// FaultPass lets the attempt through untouched.
+	FaultPass Fault = "pass"
+	// FaultDrop loses the attempt: Resolve waits DropDelay (a stand-in
+	// for the transport timing out) and returns ErrInjectedDrop.
+	FaultDrop Fault = "drop"
+	// FaultServFail answers with a SERVFAIL response, no error.
+	FaultServFail Fault = "servfail"
+	// FaultTruncate performs the exchange, then sets the TC bit and
+	// strips the answers — a Do53 UDP truncation.
+	FaultTruncate Fault = "truncate"
+	// FaultSlow performs the exchange after an extra SlowDelay — a
+	// slow-start or congested path.
+	FaultSlow Fault = "slow"
+)
+
+// FaultConfig parameterizes deterministic, seed-driven fault
+// injection. Faults are drawn per attempt: first from Script (one
+// entry per Resolve call, in order), then from the probability fields
+// using the seeded stream, so a given (seed, call sequence) always
+// produces the same faults.
+type FaultConfig struct {
+	// Seed drives the probability draws.
+	Seed int64
+	// Script, when non-empty, dictates the first len(Script) attempts'
+	// faults exactly; later attempts fall back to the probabilities.
+	Script []Fault
+	// DropProb, ServFailProb, TruncateProb, and SlowProb are the
+	// per-attempt probabilities of each fault (evaluated in that
+	// order; at most one fault fires per attempt).
+	DropProb     float64
+	ServFailProb float64
+	TruncateProb float64
+	SlowProb     float64
+	// DropDelay is how long a dropped attempt blocks before failing
+	// (default 0: fail immediately).
+	DropDelay time.Duration
+	// SlowDelay is the extra latency of a slow attempt (default 0).
+	SlowDelay time.Duration
+}
+
+// FaultStats counts what the injector did.
+type FaultStats struct {
+	Calls, Drops, ServFails, Truncations, Slowdowns, Passed int64
+}
+
+// Injector is a Resolver that injects faults below a policy stack.
+// Construct with WithFaults; read the injected-event counters with
+// Stats.
+type Injector struct {
+	next Resolver
+	cfg  FaultConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls int
+	stats FaultStats
+}
+
+// WithFaults wraps next with deterministic fault injection. It returns
+// the concrete *Injector so tests can assert on Stats.
+func WithFaults(next Resolver, cfg FaultConfig) *Injector {
+	return &Injector{next: next, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns a snapshot of the injected-event counters.
+func (in *Injector) Stats() FaultStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// draw picks this attempt's fault from the script or the seeded
+// probability stream and records it.
+func (in *Injector) draw() Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Calls++
+	call := in.calls
+	in.calls++
+	var f Fault
+	if call < len(in.cfg.Script) {
+		f = in.cfg.Script[call]
+	} else {
+		u := in.rng.Float64()
+		switch {
+		case u < in.cfg.DropProb:
+			f = FaultDrop
+		case u < in.cfg.DropProb+in.cfg.ServFailProb:
+			f = FaultServFail
+		case u < in.cfg.DropProb+in.cfg.ServFailProb+in.cfg.TruncateProb:
+			f = FaultTruncate
+		case u < in.cfg.DropProb+in.cfg.ServFailProb+in.cfg.TruncateProb+in.cfg.SlowProb:
+			f = FaultSlow
+		default:
+			f = FaultPass
+		}
+	}
+	switch f {
+	case FaultDrop:
+		in.stats.Drops++
+	case FaultServFail:
+		in.stats.ServFails++
+	case FaultTruncate:
+		in.stats.Truncations++
+	case FaultSlow:
+		in.stats.Slowdowns++
+	default:
+		in.stats.Passed++
+	}
+	return f
+}
+
+// Resolve implements Resolver.
+func (in *Injector) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+	switch in.draw() {
+	case FaultDrop:
+		if in.cfg.DropDelay > 0 {
+			if err := sleepContext(ctx, in.cfg.DropDelay); err != nil {
+				return nil, Timing{Attempts: 1, Total: in.cfg.DropDelay}, err
+			}
+		}
+		return nil, Timing{Attempts: 1, Total: in.cfg.DropDelay}, ErrInjectedDrop
+	case FaultServFail:
+		resp := q.Reply()
+		resp.Header.RCode = dnswire.RCodeServFail
+		resp.Header.RecursionAvailable = true
+		return resp, Timing{Attempts: 1}, nil
+	case FaultTruncate:
+		resp, t, err := in.next.Resolve(ctx, q)
+		if err != nil {
+			return nil, t, err
+		}
+		trunc := *resp
+		trunc.Header.Truncated = true
+		trunc.Answers = nil
+		return &trunc, t, nil
+	case FaultSlow:
+		if in.cfg.SlowDelay > 0 {
+			if err := sleepContext(ctx, in.cfg.SlowDelay); err != nil {
+				return nil, Timing{Attempts: 1, Total: in.cfg.SlowDelay}, err
+			}
+		}
+		resp, t, err := in.next.Resolve(ctx, q)
+		t.RoundTrip += in.cfg.SlowDelay
+		t.Total += in.cfg.SlowDelay
+		return resp, t, err
+	default:
+		return in.next.Resolve(ctx, q)
+	}
+}

@@ -1,0 +1,396 @@
+package resolver
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// Policy bundles the standard middleware stack. Apply composes it in
+// the canonical order (innermost first):
+//
+//	transport -> WithFaults -> per-attempt WithTimeout -> WithRetry
+//	          -> WithHedging -> overall WithTimeout
+//
+// so each retry attempt is individually deadline-bounded, the retry
+// loop as a whole respects the overall deadline, and injected faults
+// look to the policy layers exactly like wire faults.
+type Policy struct {
+	// Retry, when non-nil, adds exponential-backoff retries.
+	Retry *RetryPolicy
+	// AttemptTimeout bounds each transport attempt.
+	AttemptTimeout time.Duration
+	// OverallTimeout bounds the whole resolution including backoff.
+	OverallTimeout time.Duration
+	// HedgeDelay, when positive, fires a speculative second attempt
+	// after this delay (set it near the transport's p95 latency).
+	HedgeDelay time.Duration
+	// Faults, when non-nil, injects deterministic faults below every
+	// other layer (tests).
+	Faults *FaultConfig
+	// Metrics, when non-nil, receives counters from every layer.
+	Metrics *Metrics
+}
+
+// Apply wraps r with the policy's middleware stack.
+func Apply(r Resolver, p Policy) Resolver {
+	if p.Faults != nil {
+		r = WithFaults(r, *p.Faults)
+	}
+	if p.AttemptTimeout > 0 {
+		r = WithTimeout(r, p.AttemptTimeout, 0)
+	}
+	if p.Retry != nil {
+		rp := *p.Retry
+		if rp.Metrics == nil {
+			rp.Metrics = p.Metrics
+		}
+		r = WithRetry(r, rp)
+	}
+	if p.HedgeDelay > 0 {
+		r = WithHedging(r, p.HedgeDelay, p.Metrics)
+	}
+	if p.OverallTimeout > 0 {
+		r = WithTimeout(r, 0, p.OverallTimeout)
+	}
+	if p.Metrics != nil {
+		r = withEntryMetrics(r, p.Metrics)
+	}
+	return r
+}
+
+// WithTimeout bounds resolutions with deadlines. perAttempt applies to
+// each call into next (place this layer below WithRetry so every
+// attempt gets its own budget); overall caps the context for the whole
+// stack above (place a second WithTimeout outermost for that). Either
+// may be zero.
+func WithTimeout(next Resolver, perAttempt, overall time.Duration) Resolver {
+	return Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		if overall > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, overall)
+			defer cancel()
+		}
+		if perAttempt > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, perAttempt)
+			defer cancel()
+		}
+		return next.Resolve(ctx, q)
+	})
+}
+
+// RetryPolicy parameterizes WithRetry: capped exponential backoff with
+// seeded (hence reproducible) jitter and a total backoff budget.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt count including the first
+	// (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff delay (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between retries (default 2).
+	Multiplier float64
+	// Jitter is the fraction of symmetric randomization applied to
+	// each delay: d' = d * (1 + Jitter*u), u uniform in [-1, 1). Zero
+	// disables jitter.
+	Jitter float64
+	// Budget caps the cumulative backoff sleep; once spent, no further
+	// retries are taken (default 5s; negative means unlimited).
+	Budget time.Duration
+	// RetryServFail also retries responses whose RCode is SERVFAIL
+	// (the transport succeeded but the upstream did not).
+	RetryServFail bool
+	// Seed drives the jitter stream, making schedules reproducible.
+	Seed int64
+	// Sleep waits between attempts; tests substitute a recording fake.
+	// The default honors context cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when non-nil, observes each retry decision.
+	OnRetry func(attempt int, delay time.Duration, cause error)
+	// Metrics, when non-nil, receives attempt/retry/drop counters.
+	Metrics *Metrics
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Budget == 0 {
+		p.Budget = 5 * time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepContext
+	}
+	return p
+}
+
+// Schedule returns the deterministic pre-jitter backoff delays for
+// retries 1..MaxAttempts-1: BaseDelay * Multiplier^i capped at
+// MaxDelay. Jitter is applied on top of these values at run time.
+func (p RetryPolicy) Schedule() []time.Duration {
+	p = p.withDefaults()
+	out := make([]time.Duration, 0, p.MaxAttempts-1)
+	for i := 0; i < p.MaxAttempts-1; i++ {
+		out = append(out, p.baseDelay(i))
+	}
+	return out
+}
+
+// baseDelay is the pre-jitter delay before retry i (0-based).
+func (p RetryPolicy) baseDelay(i int) time.Duration {
+	d := float64(p.BaseDelay) * math.Pow(p.Multiplier, float64(i))
+	if max := float64(p.MaxDelay); d > max {
+		d = max
+	}
+	return time.Duration(d)
+}
+
+func sleepContext(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WithRetry wraps next with the retry policy. A resolution succeeds on
+// the first attempt that returns a usable response; transport errors
+// (and, optionally, SERVFAIL responses) trigger capped exponential
+// backoff until attempts, budget, or context run out. The returned
+// Timing carries the winning attempt's phase breakdown with Attempts
+// and Total covering the whole loop.
+func WithRetry(next Resolver, p RetryPolicy) Resolver {
+	p = p.withDefaults()
+	return &retrier{next: next, p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+type retrier struct {
+	next Resolver
+	p    RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// jitter applies the policy's symmetric jitter to d from the seeded
+// stream.
+func (r *retrier) jitter(d time.Duration) time.Duration {
+	if r.p.Jitter <= 0 {
+		return d
+	}
+	r.mu.Lock()
+	u := 2*r.rng.Float64() - 1
+	r.mu.Unlock()
+	j := time.Duration(float64(d) * (1 + r.p.Jitter*u))
+	if j < 0 {
+		j = 0
+	}
+	return j
+}
+
+// retryable reports whether the attempt outcome warrants another try,
+// returning the cause to report.
+func (r *retrier) retryable(resp *dnswire.Message, err error) (error, bool) {
+	if err != nil {
+		return err, true
+	}
+	if r.p.RetryServFail && resp.Header.RCode == dnswire.RCodeServFail {
+		return errServFail, true
+	}
+	return nil, false
+}
+
+// errServFail is the retry cause reported for SERVFAIL responses.
+var errServFail = &rcodeError{dnswire.RCodeServFail}
+
+type rcodeError struct{ rcode dnswire.RCode }
+
+func (e *rcodeError) Error() string { return "resolver: upstream answered " + e.rcode.String() }
+
+func (r *retrier) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+	start := time.Now()
+	var slept time.Duration
+	var attempts int
+	var lastResp *dnswire.Message
+	var lastTiming Timing
+	var lastErr error
+	for attempt := 1; attempt <= r.p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			lastTiming.Attempts = attempts
+			lastTiming.Total = time.Since(start)
+			return nil, lastTiming, err
+		}
+		resp, t, err := r.next.Resolve(ctx, q)
+		attempts += t.attempts()
+		if r.p.Metrics != nil {
+			r.p.Metrics.Attempts.Add(int64(t.attempts()))
+			if err != nil {
+				r.p.Metrics.Drops.Add(1)
+			}
+		}
+		cause, again := r.retryable(resp, err)
+		if !again {
+			t.Attempts = attempts
+			t.Total = time.Since(start)
+			return resp, t, nil
+		}
+		lastResp, lastTiming, lastErr = resp, t, err
+		if attempt == r.p.MaxAttempts || ctx.Err() != nil {
+			break
+		}
+		delay := r.jitter(r.p.baseDelay(attempt - 1))
+		if r.p.Budget >= 0 {
+			remaining := r.p.Budget - slept
+			if remaining <= 0 {
+				break
+			}
+			if delay > remaining {
+				delay = remaining
+			}
+		}
+		if r.p.OnRetry != nil {
+			r.p.OnRetry(attempt, delay, cause)
+		}
+		if r.p.Metrics != nil {
+			r.p.Metrics.Retries.Add(1)
+		}
+		if err := r.p.Sleep(ctx, delay); err != nil {
+			lastTiming.Attempts = attempts
+			lastTiming.Total = time.Since(start)
+			return nil, lastTiming, err
+		}
+		slept += delay
+	}
+	lastTiming.Attempts = attempts
+	lastTiming.Total = time.Since(start)
+	if lastErr != nil {
+		if r.p.Metrics != nil {
+			r.p.Metrics.Failures.Add(1)
+		}
+		return nil, lastTiming, lastErr
+	}
+	// Retries exhausted on SERVFAIL responses: surface the response
+	// and let the caller inspect the RCode.
+	return lastResp, lastTiming, nil
+}
+
+// WithHedging fires a speculative second attempt when the first has
+// not answered within delay (or has already failed), and returns
+// whichever attempt succeeds first — the tail-latency hedge pattern.
+// The losing attempt is cancelled. metrics may be nil.
+func WithHedging(next Resolver, delay time.Duration, metrics *Metrics) Resolver {
+	return &hedger{next: next, delay: delay, metrics: metrics}
+}
+
+type hedger struct {
+	next    Resolver
+	delay   time.Duration
+	metrics *Metrics
+}
+
+type hedgeResult struct {
+	resp *dnswire.Message
+	t    Timing
+	err  error
+}
+
+func (h *hedger) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan hedgeResult, 2)
+	launch := func() {
+		go func() {
+			resp, t, err := h.next.Resolve(ctx, q)
+			results <- hedgeResult{resp, t, err}
+		}()
+	}
+	launch()
+	inflight, launched := 1, 1
+
+	timer := time.NewTimer(h.delay)
+	defer timer.Stop()
+
+	hedge := func() {
+		launch()
+		inflight++
+		launched++
+		if h.metrics != nil {
+			h.metrics.Hedges.Add(1)
+		}
+	}
+
+	var attempts int
+	var firstFail *hedgeResult
+	for {
+		select {
+		case res := <-results:
+			inflight--
+			attempts += res.t.attempts()
+			if res.err == nil {
+				res.t.Attempts = attempts + pendingAttempts(inflight)
+				res.t.Total = time.Since(start)
+				return res.resp, res.t, nil
+			}
+			if firstFail == nil {
+				firstFail = &res
+			}
+			if launched < 2 {
+				// The primary failed outright before the hedge timer:
+				// fire the hedge immediately rather than waiting.
+				timer.Stop()
+				hedge()
+				continue
+			}
+			if inflight == 0 {
+				firstFail.t.Attempts = attempts
+				firstFail.t.Total = time.Since(start)
+				return nil, firstFail.t, firstFail.err
+			}
+		case <-timer.C:
+			if launched < 2 {
+				hedge()
+			}
+		case <-ctx.Done():
+			return nil, Timing{Attempts: attempts, Total: time.Since(start)}, ctx.Err()
+		}
+	}
+}
+
+// pendingAttempts counts attempts still in flight when a winner
+// returns; they consumed transport work even though their results are
+// discarded.
+func pendingAttempts(inflight int) int {
+	if inflight < 0 {
+		return 0
+	}
+	return inflight
+}
+
+// withEntryMetrics counts Resolve calls entering the stack (failures
+// are counted by the retry layer, which sees the final outcome).
+func withEntryMetrics(next Resolver, m *Metrics) Resolver {
+	return Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		m.Queries.Add(1)
+		return next.Resolve(ctx, q)
+	})
+}

@@ -1,0 +1,339 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// stub is a scriptable transport: each Resolve consumes the next
+// outcome (nil error -> NOERROR answer).
+type stub struct {
+	calls int
+	errs  []error
+}
+
+func (s *stub) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+	i := s.calls
+	s.calls++
+	if i < len(s.errs) && s.errs[i] != nil {
+		return nil, Timing{Attempts: 1}, s.errs[i]
+	}
+	resp := q.Reply()
+	return resp, Timing{RoundTrip: time.Millisecond, Total: time.Millisecond, Attempts: 1}, nil
+}
+
+var errWire = errors.New("wire timeout")
+
+func TestRetrySchedule(t *testing.T) {
+	tests := []struct {
+		name string
+		p    RetryPolicy
+		want []time.Duration
+	}{
+		{
+			name: "defaults",
+			p:    RetryPolicy{},
+			want: []time.Duration{50 * time.Millisecond, 100 * time.Millisecond},
+		},
+		{
+			name: "doubling capped",
+			p:    RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond, Multiplier: 2},
+			want: []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond},
+		},
+		{
+			name: "multiplier 1 is constant",
+			p:    RetryPolicy{MaxAttempts: 4, BaseDelay: 30 * time.Millisecond, Multiplier: 1},
+			want: []time.Duration{30 * time.Millisecond, 30 * time.Millisecond, 30 * time.Millisecond},
+		},
+		{
+			name: "single attempt has no retries",
+			p:    RetryPolicy{MaxAttempts: 1},
+			want: []time.Duration{},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.p.Schedule()
+			if len(got) != len(tt.want) {
+				t.Fatalf("Schedule() = %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("Schedule()[%d] = %v, want %v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+// recordingSleep captures requested backoff delays without sleeping.
+func recordingSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+}
+
+func TestRetryJitterDeterministic(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		var delays []time.Duration
+		s := &stub{errs: []error{errWire, errWire, errWire, errWire}}
+		r := WithRetry(s, RetryPolicy{
+			MaxAttempts: 5,
+			BaseDelay:   100 * time.Millisecond,
+			Jitter:      0.5,
+			Seed:        seed,
+			Budget:      -1,
+			Sleep:       recordingSleep(&delays),
+		})
+		if _, _, err := r.Resolve(context.Background(), Query("jitter.a.com.", dnswire.TypeA)); err != nil {
+			t.Fatalf("Resolve: %v", err)
+		}
+		return delays
+	}
+	a, b := run(7), run(7)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("want 4 recorded delays, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("delay %d differs across same-seed runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jittered schedules")
+	}
+	// Jitter must stay within the +/-50% band of the pre-jitter delay.
+	base := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond}.Schedule()
+	for i, d := range a {
+		lo := time.Duration(float64(base[i]) * 0.5)
+		hi := time.Duration(float64(base[i]) * 1.5)
+		if d < lo || d > hi {
+			t.Errorf("delay %d = %v outside jitter band [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	var delays []time.Duration
+	s := &stub{errs: []error{errWire, errWire, nil}}
+	m := &Metrics{}
+	r := WithRetry(s, RetryPolicy{MaxAttempts: 3, Sleep: recordingSleep(&delays), Metrics: m})
+	resp, timing, err := r.Resolve(context.Background(), Query("x.a.com.", dnswire.TypeA))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if resp == nil || timing.Attempts != 3 {
+		t.Fatalf("got attempts=%d, want 3", timing.Attempts)
+	}
+	snap := m.Snapshot()
+	if snap.Retries != 2 || snap.Drops != 2 || snap.Attempts != 3 || snap.Failures != 0 {
+		t.Errorf("metrics = %+v, want retries=2 drops=2 attempts=3 failures=0", snap)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	var delays []time.Duration
+	s := &stub{errs: []error{errWire, errWire, errWire}}
+	m := &Metrics{}
+	r := WithRetry(s, RetryPolicy{MaxAttempts: 3, Sleep: recordingSleep(&delays), Metrics: m})
+	resp, timing, err := r.Resolve(context.Background(), Query("x.a.com.", dnswire.TypeA))
+	if !errors.Is(err, errWire) {
+		t.Fatalf("err = %v, want %v", err, errWire)
+	}
+	if resp != nil {
+		t.Error("resp must be nil when err is non-nil")
+	}
+	if timing.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", timing.Attempts)
+	}
+	if got := m.Snapshot().Failures; got != 1 {
+		t.Errorf("failures = %d, want 1", got)
+	}
+}
+
+func TestRetryBudgetStopsRetries(t *testing.T) {
+	var delays []time.Duration
+	s := &stub{errs: []error{errWire, errWire, errWire, errWire, errWire}}
+	r := WithRetry(s, RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   100 * time.Millisecond,
+		Multiplier:  1,
+		Budget:      150 * time.Millisecond,
+		Sleep:       recordingSleep(&delays),
+	})
+	_, _, err := r.Resolve(context.Background(), Query("x.a.com.", dnswire.TypeA))
+	if !errors.Is(err, errWire) {
+		t.Fatalf("err = %v, want %v", err, errWire)
+	}
+	// First backoff spends 100ms, second is clamped to the remaining
+	// 50ms, then the budget is gone: 3 attempts total.
+	if len(delays) != 2 || delays[0] != 100*time.Millisecond || delays[1] != 50*time.Millisecond {
+		t.Errorf("delays = %v, want [100ms 50ms]", delays)
+	}
+	if s.calls != 3 {
+		t.Errorf("transport calls = %d, want 3", s.calls)
+	}
+}
+
+func TestRetryContextCancelledMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &stub{errs: []error{errWire, errWire, errWire}}
+	r := WithRetry(s, RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // the caller gives up while we are backing off
+			return ctx.Err()
+		},
+	})
+	resp, timing, err := r.Resolve(ctx, Query("x.a.com.", dnswire.TypeA))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if resp != nil {
+		t.Error("resp must be nil on cancellation")
+	}
+	if s.calls != 1 {
+		t.Errorf("transport calls = %d, want 1 (no attempt after cancel)", s.calls)
+	}
+	if timing.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", timing.Attempts)
+	}
+}
+
+func TestRetryServFailThenSuccess(t *testing.T) {
+	// SERVFAIL -> retry -> clean answer, end to end through the fault
+	// injector and the Apply composition.
+	var delays []time.Duration
+	base := &stub{}
+	inj := WithFaults(base, FaultConfig{Script: []Fault{FaultServFail, FaultPass}})
+	r := WithRetry(inj, RetryPolicy{MaxAttempts: 3, RetryServFail: true, Sleep: recordingSleep(&delays)})
+	resp, timing, err := r.Resolve(context.Background(), Query("sf.a.com.", dnswire.TypeA))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if resp.Header.RCode != dnswire.RCodeNoError {
+		t.Errorf("RCode = %v, want NOERROR", resp.Header.RCode)
+	}
+	if timing.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", timing.Attempts)
+	}
+	stats := inj.Stats()
+	if stats.ServFails != 1 || stats.Passed != 1 {
+		t.Errorf("injector stats = %+v, want 1 servfail + 1 pass", stats)
+	}
+}
+
+func TestRetryServFailExhaustionReturnsResponse(t *testing.T) {
+	var delays []time.Duration
+	inj := WithFaults(&stub{}, FaultConfig{Script: []Fault{FaultServFail, FaultServFail}})
+	r := WithRetry(inj, RetryPolicy{MaxAttempts: 2, RetryServFail: true, Sleep: recordingSleep(&delays)})
+	resp, _, err := r.Resolve(context.Background(), Query("sf.a.com.", dnswire.TypeA))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if resp == nil || resp.Header.RCode != dnswire.RCodeServFail {
+		t.Fatalf("want the final SERVFAIL response surfaced, got %v", resp)
+	}
+}
+
+func TestHedgingWinsOnSlowPrimary(t *testing.T) {
+	// Primary hangs until cancelled; the hedge answers immediately.
+	var n atomic.Int32
+	next := Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		me := n.Add(1)
+		if me == 1 {
+			<-ctx.Done()
+			return nil, Timing{Attempts: 1}, ctx.Err()
+		}
+		return q.Reply(), Timing{Attempts: 1}, nil
+	})
+	m := &Metrics{}
+	r := WithHedging(next, time.Millisecond, m)
+	resp, timing, err := r.Resolve(context.Background(), Query("h.a.com.", dnswire.TypeA))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if resp == nil {
+		t.Fatal("nil response")
+	}
+	if timing.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (winner + in-flight loser)", timing.Attempts)
+	}
+	if got := m.Snapshot().Hedges; got != 1 {
+		t.Errorf("hedges = %d, want 1", got)
+	}
+}
+
+func TestHedgingImmediateOnPrimaryFailure(t *testing.T) {
+	// Primary fails fast: the hedge must fire before the hedge delay.
+	s := &stub{errs: []error{errWire, nil}}
+	m := &Metrics{}
+	r := WithHedging(s, time.Hour, m)
+	start := time.Now()
+	resp, _, err := r.Resolve(context.Background(), Query("h.a.com.", dnswire.TypeA))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if resp == nil {
+		t.Fatal("nil response")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("hedge waited for the timer (%v)", elapsed)
+	}
+	if got := m.Snapshot().Hedges; got != 1 {
+		t.Errorf("hedges = %d, want 1", got)
+	}
+}
+
+func TestApplyComposition(t *testing.T) {
+	// Drop -> retry -> pass through the full canonical stack.
+	var delays []time.Duration
+	m := &Metrics{}
+	r := Apply(&stub{}, Policy{
+		Retry: &RetryPolicy{
+			MaxAttempts: 3,
+			Sleep:       recordingSleep(&delays),
+		},
+		AttemptTimeout: time.Second,
+		OverallTimeout: 10 * time.Second,
+		Faults:         &FaultConfig{Script: []Fault{FaultDrop, FaultPass}},
+		Metrics:        m,
+	})
+	resp, timing, err := r.Resolve(context.Background(), Query("c.a.com.", dnswire.TypeA))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if resp == nil || timing.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", timing.Attempts)
+	}
+	snap := m.Snapshot()
+	if snap.Queries != 1 || snap.Attempts != 2 || snap.Retries != 1 || snap.Drops != 1 || snap.Failures != 0 {
+		t.Errorf("metrics = %+v, want queries=1 attempts=2 retries=1 drops=1 failures=0", snap)
+	}
+}
+
+func TestWithTimeoutPerAttempt(t *testing.T) {
+	next := Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		<-ctx.Done()
+		return nil, Timing{Attempts: 1}, ctx.Err()
+	})
+	r := WithTimeout(next, 5*time.Millisecond, 0)
+	_, _, err := r.Resolve(context.Background(), Query("t.a.com.", dnswire.TypeA))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package resolver defines the transport-agnostic resolution API the
+// measurement harness is built on. The paper issues the same query
+// over several transports — conventional Do53, DoH (RFC 8484), and
+// DoT (RFC 7858) — and must survive lossy residential paths; this
+// package gives every transport one interface
+//
+//	Resolve(ctx, query) (response, Timing, error)
+//
+// plus a composable policy layer (WithRetry, WithTimeout, WithHedging,
+// WithFaults) so retry, deadline, and drop-accounting semantics are
+// identical no matter which wire protocol carries the query. Adapters
+// for the three concrete clients live in adapters.go; every future
+// backend (DoQ, new providers) plugs into the same seam.
+package resolver
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dnsclient"
+	"repro/internal/dnswire"
+)
+
+// Kind names a transport. It is the unit of per-transport accounting:
+// campaign configurations select transports by Kind and report
+// retry/drop counters per Kind.
+type Kind string
+
+// The supported transports.
+const (
+	Do53 Kind = "do53" // conventional DNS over UDP with TCP fallback
+	DoH  Kind = "doh"  // DNS over HTTPS (RFC 8484)
+	DoT  Kind = "dot"  // DNS over TLS (RFC 7858)
+)
+
+// Kinds returns all supported transports in canonical order.
+func Kinds() []Kind { return []Kind{Do53, DoH, DoT} }
+
+// ParseKind parses a transport name (case-insensitive; "do53", "doh",
+// "dot").
+func ParseKind(s string) (Kind, error) {
+	switch k := Kind(strings.ToLower(strings.TrimSpace(s))); k {
+	case Do53, DoH, DoT:
+		return k, nil
+	default:
+		return "", fmt.Errorf("resolver: unknown transport %q (want do53, doh, or dot)", s)
+	}
+}
+
+// Valid reports whether k names a supported transport.
+func (k Kind) Valid() bool {
+	_, err := ParseKind(string(k))
+	return err == nil
+}
+
+// Timing is the unified per-phase breakdown of one resolution. It
+// subsumes the per-transport timing structs: phases a transport does
+// not have (Do53 has no TLS handshake; reused connections pay no
+// setup) are zero.
+type Timing struct {
+	// DNSLookup is the time to resolve the server's own name (DoH
+	// bootstrap; t3+t4 in the paper's Figure 2). Zero for transports
+	// addressed by IP literal.
+	DNSLookup time.Duration
+	// Connect is the TCP handshake time (zero on reuse, and for UDP).
+	Connect time.Duration
+	// TLSHandshake is the TLS establishment time (zero on reuse and
+	// for Do53).
+	TLSHandshake time.Duration
+	// RoundTrip is the query/response time once the transport is
+	// ready.
+	RoundTrip time.Duration
+	// Total is the wall-clock time of the whole resolution including
+	// retries and backoff sleeps when a policy layer is stacked above
+	// the transport.
+	Total time.Duration
+	// Reused reports whether an established connection served the
+	// exchange.
+	Reused bool
+	// Attempts is the number of transport attempts this resolution
+	// consumed (1 for a clean first try; retry and hedging layers add
+	// theirs). Zero means the layer below did not count — treat as 1.
+	Attempts int
+}
+
+// Breakdown returns the per-phase durations keyed by stable names, the
+// form the analysis layer aggregates. Keys are identical across all
+// transports.
+func (t Timing) Breakdown() map[string]time.Duration {
+	return map[string]time.Duration{
+		"dns_lookup":    t.DNSLookup,
+		"connect":       t.Connect,
+		"tls_handshake": t.TLSHandshake,
+		"round_trip":    t.RoundTrip,
+		"total":         t.Total,
+	}
+}
+
+// Setup returns the connection-establishment share of the resolution
+// (everything but the round trip itself).
+func (t Timing) Setup() time.Duration {
+	return t.DNSLookup + t.Connect + t.TLSHandshake
+}
+
+// attempts normalizes the Attempts convention (zero means one).
+func (t Timing) attempts() int {
+	if t.Attempts <= 0 {
+		return 1
+	}
+	return t.Attempts
+}
+
+// Resolver is the transport-agnostic resolution API. Implementations
+// must be safe for concurrent use.
+type Resolver interface {
+	// Resolve sends q and returns the response with its per-phase
+	// timing. The returned message is nil exactly when err is non-nil.
+	Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error)
+}
+
+// Func adapts a function to the Resolver interface.
+type Func func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error)
+
+// Resolve implements Resolver.
+func (f Func) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+	return f(ctx, q)
+}
+
+// Middleware wraps a Resolver with additional behavior (retry,
+// timeout, hedging, fault injection).
+type Middleware func(Resolver) Resolver
+
+// Chain applies middlewares to r in order: the first middleware is the
+// innermost (closest to the transport), the last is the outermost.
+func Chain(r Resolver, mws ...Middleware) Resolver {
+	for _, mw := range mws {
+		r = mw(r)
+	}
+	return r
+}
+
+// Query builds a query message for (name, typ) with a random ID, the
+// shape every transport accepts.
+func Query(name dnswire.Name, typ dnswire.Type) *dnswire.Message {
+	return dnswire.NewQuery(dnsclient.RandomID(), name, typ)
+}
+
+// Metrics aggregates counters across a resolver stack. A single
+// Metrics value may be shared by several policy layers; all fields are
+// updated atomically.
+type Metrics struct {
+	// Queries counts Resolve calls entering the stack.
+	Queries atomic.Int64
+	// Attempts counts transport attempts (>= Queries).
+	Attempts atomic.Int64
+	// Retries counts backoff retries taken by WithRetry.
+	Retries atomic.Int64
+	// Hedges counts speculative second attempts fired by WithHedging.
+	Hedges atomic.Int64
+	// Drops counts attempts that failed with a transport error (the
+	// paper's §3.5 measurement discards).
+	Drops atomic.Int64
+	// Failures counts Resolve calls that exhausted the policy stack
+	// without an answer.
+	Failures atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of a Metrics.
+type Snapshot struct {
+	Queries, Attempts, Retries, Hedges, Drops, Failures int64
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Queries:  m.Queries.Load(),
+		Attempts: m.Attempts.Load(),
+		Retries:  m.Retries.Load(),
+		Hedges:   m.Hedges.Load(),
+		Drops:    m.Drops.Load(),
+		Failures: m.Failures.Load(),
+	}
+}

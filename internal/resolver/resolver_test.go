@@ -1,0 +1,135 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+func TestParseKind(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Kind
+		wantErr bool
+	}{
+		{"do53", Do53, false},
+		{"doh", DoH, false},
+		{"dot", DoT, false},
+		{"DoH", DoH, false},
+		{"  dot ", DoT, false},
+		{"doq", "", true},
+		{"", "", true},
+	}
+	for _, tt := range tests {
+		got, err := ParseKind(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseKind(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseKind(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+	for _, k := range Kinds() {
+		if !k.Valid() {
+			t.Errorf("Kinds() returned invalid kind %q", k)
+		}
+	}
+	if Kind("doq").Valid() {
+		t.Error("unknown kind reported valid")
+	}
+}
+
+func TestTimingBreakdown(t *testing.T) {
+	timing := Timing{
+		DNSLookup:    1 * time.Millisecond,
+		Connect:      2 * time.Millisecond,
+		TLSHandshake: 3 * time.Millisecond,
+		RoundTrip:    4 * time.Millisecond,
+		Total:        10 * time.Millisecond,
+	}
+	b := timing.Breakdown()
+	want := map[string]time.Duration{
+		"dns_lookup":    1 * time.Millisecond,
+		"connect":       2 * time.Millisecond,
+		"tls_handshake": 3 * time.Millisecond,
+		"round_trip":    4 * time.Millisecond,
+		"total":         10 * time.Millisecond,
+	}
+	if len(b) != len(want) {
+		t.Fatalf("Breakdown has %d keys, want %d", len(b), len(want))
+	}
+	for k, v := range want {
+		if b[k] != v {
+			t.Errorf("Breakdown[%q] = %v, want %v", k, b[k], v)
+		}
+	}
+	if got := timing.Setup(); got != 6*time.Millisecond {
+		t.Errorf("Setup() = %v, want 6ms", got)
+	}
+}
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	run := func(seed int64) FaultStats {
+		inj := WithFaults(&stub{}, FaultConfig{Seed: seed, DropProb: 0.3, ServFailProb: 0.2})
+		for i := 0; i < 200; i++ {
+			inj.Resolve(context.Background(), Query("d.a.com.", dnswire.TypeA))
+		}
+		return inj.Stats()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Errorf("same seed produced different fault sequences: %+v vs %+v", a, b)
+	}
+	if a.Calls != 200 || a.Drops == 0 || a.ServFails == 0 || a.Passed == 0 {
+		t.Errorf("stats = %+v, want a mix of drops, servfails, and passes over 200 calls", a)
+	}
+	if a.Drops+a.ServFails+a.Truncations+a.Slowdowns+a.Passed != a.Calls {
+		t.Errorf("stats do not add up: %+v", a)
+	}
+}
+
+func TestFaultTruncate(t *testing.T) {
+	inj := WithFaults(&stub{}, FaultConfig{Script: []Fault{FaultTruncate}})
+	resp, _, err := inj.Resolve(context.Background(), Query("tc.a.com.", dnswire.TypeA))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if !resp.Header.Truncated {
+		t.Error("TC bit not set")
+	}
+	if len(resp.Answers) != 0 {
+		t.Errorf("truncated response kept %d answers", len(resp.Answers))
+	}
+}
+
+func TestFaultDropIsError(t *testing.T) {
+	inj := WithFaults(&stub{}, FaultConfig{Script: []Fault{FaultDrop}})
+	resp, _, err := inj.Resolve(context.Background(), Query("dr.a.com.", dnswire.TypeA))
+	if !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("err = %v, want ErrInjectedDrop", err)
+	}
+	if resp != nil {
+		t.Error("resp must be nil on drop")
+	}
+}
+
+func TestUpstreamAdapter(t *testing.T) {
+	m := &Metrics{}
+	u := UpstreamAdapter{R: &stub{}, Metrics: m}
+	resp, err := u.Resolve(context.Background(), Query("u.a.com.", dnswire.TypeA))
+	if err != nil || resp == nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if _, err := (UpstreamAdapter{R: &stub{errs: []error{errWire}}, Metrics: m}).Resolve(
+		context.Background(), Query("u.a.com.", dnswire.TypeA)); !errors.Is(err, errWire) {
+		t.Fatalf("err = %v, want %v", err, errWire)
+	}
+	snap := m.Snapshot()
+	if snap.Queries != 2 || snap.Failures != 1 {
+		t.Errorf("metrics = %+v, want queries=2 failures=1", snap)
+	}
+}
