@@ -24,6 +24,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/dohclient"
 	"repro/internal/dot"
+	"repro/internal/obs"
 	"repro/internal/resolver"
 	"repro/internal/tlsutil"
 )
@@ -38,6 +39,7 @@ func main() {
 	retries := flag.Int("retries", 0, "max retry attempts on failure (0 disables retry)")
 	hedge := flag.Duration("hedge", 0, "hedging delay: launch a second attempt if no answer after this long (0 disables)")
 	attemptTimeout := flag.Duration("attempt-timeout", 0, "per-attempt timeout inside the retry loop (0 disables)")
+	dumpMetrics := flag.Bool("metrics", false, "dump the metrics registry (text exposition format) to stderr on exit")
 	flag.Parse()
 
 	args := flag.Args()
@@ -73,6 +75,7 @@ func main() {
 	defer cancel()
 
 	var base resolver.Resolver
+	var kind resolver.Kind
 	switch {
 	case *dohURL != "":
 		opts := &dohclient.Options{InsecureTLS: *insecure, Timeout: *timeout}
@@ -81,6 +84,7 @@ func main() {
 			fatal(err)
 		}
 		base = resolver.NewDoH(c)
+		kind = resolver.DoH
 	case *dotAddr != "":
 		c := &dot.Client{Addr: *dotAddr, Timeout: *timeout}
 		if *insecure {
@@ -88,15 +92,22 @@ func main() {
 		}
 		defer c.Close()
 		base = resolver.NewDoT(c)
+		kind = resolver.DoT
 	default:
 		base = resolver.NewDo53(*do53, &dnsclient.Client{Timeout: *timeout})
+		kind = resolver.Do53
 	}
 
 	metrics := &resolver.Metrics{}
+	reg := obs.NewRegistry()
 	pol := resolver.Policy{
 		AttemptTimeout: *attemptTimeout,
 		HedgeDelay:     *hedge,
 		Metrics:        metrics,
+	}
+	if *dumpMetrics {
+		pol.Registry = reg
+		pol.Kind = kind
 	}
 	if *retries > 0 {
 		pol.Retry = &resolver.RetryPolicy{MaxAttempts: *retries + 1}
@@ -121,6 +132,12 @@ func main() {
 	if snap.Retries > 0 || snap.Hedges > 0 || snap.Failures > 0 {
 		fmt.Printf(";; policy: attempts=%d retries=%d hedges=%d failures=%d\n",
 			snap.Attempts, snap.Retries, snap.Hedges, snap.Failures)
+	}
+	if *dumpMetrics {
+		resolver.PublishPolicyMetrics(reg, kind, metrics)
+		if err := reg.Snapshot().WriteText(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/dohserver"
 	"repro/internal/dot"
+	"repro/internal/obs"
 	"repro/internal/recursive"
 	"repro/internal/resolver"
 	"repro/internal/tlsutil"
@@ -31,17 +32,22 @@ func main() {
 	keyFile := flag.String("key", "", "TLS key (PEM)")
 	plain := flag.Bool("plain", false, "serve plain HTTP instead of HTTPS")
 	dotListen := flag.String("dot", "", "also serve DNS-over-TLS on this address (e.g. 127.0.0.1:8853)")
+	metrics := flag.Bool("metrics", true, "expose the /metrics text endpoint")
 	flag.Parse()
 
+	reg := obs.NewRegistry()
 	res := recursive.New(nil)
 	// Forwarding runs on the unified resolver API: Do53 transport with
 	// one retry and a per-attempt timeout, so a single dropped UDP
 	// datagram to the authoritative server no longer fails the whole
-	// DoH request.
+	// DoH request. The registry records per-phase histograms for every
+	// forwarded query (resolver_do53_* on /metrics).
 	res.AddZone(dnswire.NewName(*zone), resolver.UpstreamAdapter{
 		R: resolver.Apply(resolver.NewDo53(*upstream, nil), resolver.Policy{
 			Retry:          &resolver.RetryPolicy{MaxAttempts: 2},
 			AttemptTimeout: 3 * time.Second,
+			Registry:       reg,
+			Kind:           resolver.Do53,
 		}),
 	})
 	handler := dohserver.NewHandler(res)
@@ -58,9 +64,20 @@ func main() {
 		defer dotSrv.Close()
 		fmt.Printf("dohsrv: DoT on %s (self-signed)\n", dotSrv.Addr())
 	}
+	mux := handler.Mux()
+	if *metrics {
+		// Server-side counters are published at scrape time so the
+		// handler structs stay the source of truth.
+		snapshot := obs.Handler(reg)
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			reg.Gauge("dohsrv_queries").Set(float64(handler.Queries()))
+			reg.Gauge("dohsrv_scrubbed_ecs").Set(float64(handler.ScrubbedECS()))
+			snapshot.ServeHTTP(w, r)
+		})
+	}
 	srv := &http.Server{
 		Addr:         *listen,
-		Handler:      handler.Mux(),
+		Handler:      mux,
 		ReadTimeout:  15 * time.Second,
 		WriteTimeout: 15 * time.Second,
 	}

@@ -12,11 +12,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/proxynet"
 )
 
@@ -24,17 +26,38 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:24000", "CONNECT proxy listen address")
 	resolver := flag.String("resolver", "", "DNS server for target resolution (host:port); empty = IP literals only")
 	delay := flag.Duration("processing-delay", 0, "artificial proxy processing delay (exercises t_BrightData accounting)")
+	metrics := flag.String("metrics", "", "serve the /metrics text endpoint on this address (e.g. 127.0.0.1:9310)")
 	flag.Parse()
 
+	reg := obs.NewRegistry()
 	proxy := &proxynet.RealProxy{
 		ResolverAddr:    *resolver,
 		ProcessingDelay: *delay,
+		Obs:             reg,
 	}
 	if err := proxy.ListenAndServe(*listen); err != nil {
 		log.Fatalf("superproxy: %v", err)
 	}
 	fmt.Printf("superproxy: CONNECT proxy on %s (resolver %q)\n", proxy.Addr(), *resolver)
 	fmt.Printf("superproxy: headers: %s, %s\n", proxynet.TunTimelineHeader, proxynet.TimelineHeader)
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		msrv := &http.Server{
+			Addr:         *metrics,
+			Handler:      mux,
+			ReadTimeout:  10 * time.Second,
+			WriteTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := msrv.ListenAndServe(); err != http.ErrServerClosed {
+				log.Printf("superproxy: metrics listener: %v", err)
+			}
+		}()
+		defer msrv.Close()
+		fmt.Printf("superproxy: metrics on http://%s/metrics\n", *metrics)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

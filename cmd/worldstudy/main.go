@@ -44,6 +44,7 @@ func main() {
 	timeline := flag.String("timeline", "", "print one sample measurement's 22-step Figure-2 timeline for a country code and exit")
 	figures := flag.String("figures", "", "directory to write plottable figure series (figure*.csv)")
 	transports := flag.String("transports", "", "comma-separated transports to measure (do53,doh,dot; default: the paper's do53,doh)")
+	metrics := flag.String("metrics", "", "write the campaign metrics snapshot in text exposition format (\"-\" = stderr, else a file path)")
 	flag.Parse()
 
 	if *timeline != "" {
@@ -87,8 +88,13 @@ func main() {
 		if !ok {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "worldstudy: %-5s %d queries, %d discarded, %d loss events, %d blocked\n",
-			kind, stats.Queries, stats.Discards, stats.LossEvents, stats.Blocked)
+		fmt.Fprintf(os.Stderr, "worldstudy: %-5s %d queries, %d discarded, %d skipped, %d loss events, %d blocked\n",
+			kind, stats.Queries, stats.Discards, stats.Skipped, stats.LossEvents, stats.Blocked)
+	}
+	if *metrics != "" {
+		if err := writeMetrics(suite.Dataset, *metrics); err != nil {
+			log.Fatalf("worldstudy: metrics: %v", err)
+		}
 	}
 
 	if *figures != "" {
@@ -127,6 +133,23 @@ func main() {
 		}
 		fmt.Println(rep)
 	}
+}
+
+// writeMetrics dumps the campaign's observability snapshot ("-" means
+// stderr, anything else a file path).
+func writeMetrics(ds *campaign.Dataset, dest string) error {
+	if dest == "-" {
+		return ds.Obs.WriteText(os.Stderr)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := ds.Obs.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // exportDataset writes the release files the paper publishes.
@@ -176,32 +199,6 @@ func importSuite(cfg campaign.Config, dir string, minClients int) (*experiments.
 	}, nil
 }
 
-// stepLabels names the paper's Figure-2 steps.
-var stepLabels = [23]string{
-	1:  "client -> Super Proxy (CONNECT)",
-	2:  "Super Proxy -> exit node",
-	3:  "exit -> ISP resolver (DoH hostname)",
-	4:  "ISP resolver -> exit",
-	5:  "exit -> DoH PoP (TCP SYN)",
-	6:  "DoH PoP -> exit (SYN-ACK)",
-	7:  "exit -> Super Proxy",
-	8:  "Super Proxy -> client (200 OK)",
-	9:  "client -> Super Proxy (ClientHello)",
-	10: "Super Proxy -> exit",
-	11: "exit -> DoH PoP (ClientHello)",
-	12: "DoH PoP -> exit (ServerHello, TLS 1.3)",
-	13: "exit -> Super Proxy",
-	14: "Super Proxy -> client",
-	15: "client -> Super Proxy (Finished + GET)",
-	16: "Super Proxy -> exit",
-	17: "exit -> DoH PoP (query)",
-	18: "DoH PoP -> authoritative NS",
-	19: "authoritative NS -> DoH PoP",
-	20: "DoH PoP -> exit (answer)",
-	21: "exit -> Super Proxy",
-	22: "Super Proxy -> client",
-}
-
 // printTimeline runs one DoH measurement in the given country and
 // dumps the true per-step durations next to the estimator's view.
 func printTimeline(seed int64, country string) error {
@@ -213,7 +210,7 @@ func printTimeline(seed int64, country string) error {
 	obs, gt := sim.MeasureDoH(node, anycast.Cloudflare, "timeline.a.com.")
 	fmt.Printf("exit node %s (PoP %s, %.0f km away)\n\n", node.ID, gt.PoP.ID, gt.PoPDistanceKm)
 	for i := 1; i <= 22; i++ {
-		fmt.Printf("  t%-2d %-42s %8.1f ms\n", i, stepLabels[i],
+		fmt.Printf("  t%-2d %-42s %8.1f ms\n", i, proxynet.StepLabels[i],
 			float64(gt.Steps[i])/float64(time.Millisecond))
 	}
 	msf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -10,6 +10,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/geoip"
+	"repro/internal/obs"
 	"repro/internal/proxynet"
 	"repro/internal/resolver"
 	"repro/internal/world"
@@ -59,6 +61,11 @@ type Config struct {
 	// each country's measurements derive from its own seed, so the
 	// schedule cannot leak into the data. 0 means GOMAXPROCS.
 	Parallel int
+	// Obs, when set, receives the campaign's observability aggregates
+	// (per-provider and per-country latency histograms, accounting
+	// gauges, merged simulator counters). When nil a private registry
+	// is used; either way Dataset.Obs carries the final snapshot.
+	Obs *obs.Registry
 }
 
 // DefaultConfig reproduces the paper's campaign shape: with the
@@ -139,8 +146,14 @@ type DoTResult struct {
 	// resolution times (milliseconds, averaged over unblocked runs).
 	TDoTMs  float64
 	TDoTRMs float64
-	// Blocked reports that every run was dropped by port-853
-	// filtering.
+	// BlockedRuns counts this client's runs dropped by port-853
+	// filtering for this provider. A client can be partially blocked:
+	// BlockedRuns > 0 with Valid still true means some runs got
+	// through and the timing fields are usable.
+	BlockedRuns int
+	// Blocked reports total blocking: every run was dropped, so no
+	// timing fields are valid. (BlockedRuns alone used to be folded
+	// into this flag, silently hiding partial blocking.)
 	Blocked bool
 	// Valid reports at least one unblocked measurement.
 	Valid bool
@@ -187,6 +200,11 @@ type Dataset struct {
 	// loss events they absorbed (paper §3.5's drop handling, reported
 	// per transport instead of silently lost).
 	Transports map[resolver.Kind]TransportStats
+	// Obs is the campaign's observability snapshot: per-provider and
+	// per-country latency histograms, accounting gauges, and the
+	// merged simulator counters. Deterministic for a given Config
+	// regardless of Parallel.
+	Obs obs.Snapshot
 	// Seed echoes the campaign seed.
 	Seed int64
 }
@@ -205,6 +223,13 @@ type TransportStats struct {
 	// Blocked counts DoT sessions dropped by port-853 filtering
 	// (always zero for other transports).
 	Blocked int
+	// Skipped counts runs that were never issued because an earlier
+	// run hit a permanent per-client failure (Do53 in a Super-Proxy
+	// country: once the Super Proxy answers for the exit node, the
+	// remaining runs cannot succeed either). Queries + Skipped equals
+	// the configured runs, so nothing silently vanishes from the
+	// accounting.
+	Skipped int
 }
 
 // merge accumulates per-country stats into the dataset total.
@@ -213,6 +238,7 @@ func (t TransportStats) merge(o TransportStats) TransportStats {
 	t.Discards += o.Discards
 	t.LossEvents += o.LossEvents
 	t.Blocked += o.Blocked
+	t.Skipped += o.Skipped
 	return t
 }
 
@@ -293,6 +319,7 @@ func Run(cfg Config) (*Dataset, error) {
 			return nil, err
 		}
 	}
+	var simTotal proxynet.SimStats
 	for i := range countries {
 		ds.Clients = append(ds.Clients, results[i]...)
 		ds.DiscardedMismatch += accounts[i].mismatch
@@ -300,6 +327,7 @@ func Run(cfg Config) (*Dataset, error) {
 		for kind, stats := range accounts[i].transports {
 			ds.Transports[kind] = ds.Transports[kind].merge(stats)
 		}
+		simTotal = addSimStats(simTotal, accounts[i].simStats)
 	}
 
 	// Remedy: Atlas Do53 medians for the Super-Proxy countries. The
@@ -318,6 +346,17 @@ func Run(cfg Config) (*Dataset, error) {
 		}
 		ds.AtlasDo53Ms[ct.Code] = med
 	}
+
+	// Assemble the observability view from the finished dataset; the
+	// snapshot is a pure function of the records and accounting, so it
+	// inherits their schedule independence.
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	observeClients(reg, ds.Clients)
+	publishAccounting(reg, ds, simTotal)
+	ds.Obs = reg.Snapshot()
 	return ds, nil
 }
 
@@ -407,6 +446,11 @@ type countryAccounting struct {
 	mismatch    int
 	implausible int
 	transports  map[resolver.Kind]TransportStats
+	// simStats is the country simulator's final counter snapshot,
+	// merged into the campaign registry by Run. Per-country sims keep
+	// private counters (lossTracker needs sequential per-sim deltas),
+	// so the registry view is assembled post-hoc.
+	simStats proxynet.SimStats
 }
 
 // lossTracker attributes the simulator's loss events to the
@@ -450,6 +494,14 @@ func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]
 		if blocked {
 			ts.Blocked++
 		}
+		acct.transports[kind] = ts
+	}
+	skip := func(kind resolver.Kind, n int) {
+		if n <= 0 {
+			return
+		}
+		ts := acct.transports[kind]
+		ts.Skipped += n
 		acct.transports[kind] = ts
 	}
 
@@ -519,11 +571,23 @@ func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]
 			var sum53 float64
 			var got53 int
 			for run := 0; run < cfg.RunsPerClient; run++ {
-				obs, _ := sim.MeasureDo53(node, nextName())
-				v, err := core.EstimateDo53(obs)
+				o, _ := sim.MeasureDo53(node, nextName())
+				v, err := core.EstimateDo53(o)
 				account(resolver.Do53, err != nil, false)
 				if err != nil {
-					break // Super-Proxy country: no runs will work
+					if errors.Is(err, core.ErrSuperProxyResolution) {
+						// Permanent for this client: the Super Proxy
+						// answers every run. Stop issuing runs but count
+						// the ones we skip, so Queries+Skipped still
+						// adds up to the configured runs. (These used to
+						// vanish from the accounting entirely.)
+						skip(resolver.Do53, cfg.RunsPerClient-run-1)
+						break
+					}
+					// Implausible measurement: drop this run and keep
+					// going, symmetric with the DoH loop.
+					acct.implausible++
+					continue
 				}
 				sum53 += float64(v) / float64(time.Millisecond)
 				got53++
@@ -551,7 +615,10 @@ func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]
 					sumDoTR += float64(gt.TDoTR) / float64(time.Millisecond)
 					got++
 				}
-				res := DoTResult{Blocked: got == 0 && blocked > 0}
+				res := DoTResult{
+					BlockedRuns: blocked,
+					Blocked:     got == 0 && blocked > 0,
+				}
 				if got > 0 {
 					res.TDoTMs = sumDoT / float64(got)
 					res.TDoTRMs = sumDoTR / float64(got)
@@ -562,5 +629,6 @@ func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]
 		}
 		out = append(out, rec)
 	}
+	acct.simStats = sim.Stats()
 	return out, acct, nil
 }

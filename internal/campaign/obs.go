@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/proxynet"
+)
+
+// Observability aggregation: Run assembles the campaign's registry
+// view after the workers finish. Per-country simulators keep private
+// counters while measuring (the loss tracker attributes loss events
+// to individual runs by sequential deltas, which a shared registry
+// would break under parallel workers), so everything here is fed from
+// the already-deterministic Dataset and per-country accounting. The
+// snapshot is therefore identical for any Config.Parallel.
+
+// msDuration converts a dataset's millisecond float back into a
+// duration for histogram observation.
+func msDuration(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// observeClients feeds every kept client's estimates into the
+// per-provider and per-country latency histograms:
+//
+//	campaign_doh_<provider>_ms    first-query DoH estimate per provider
+//	campaign_dohr_<provider>_ms   reused-connection estimate
+//	campaign_country_<code>_doh_ms  all providers' DoH, per country
+//	campaign_do53_ms              valid default-resolver estimates
+//	campaign_dot_<provider>_ms    unblocked DoT ground truth
+func observeClients(reg *obs.Registry, clients []ClientRecord) {
+	for i := range clients {
+		c := &clients[i]
+		countryDoH := reg.Histogram("campaign_country_"+c.CountryCode+"_doh_ms", nil)
+		for pid, res := range c.DoH {
+			if !res.Valid {
+				continue
+			}
+			d := msDuration(res.TDoHMs)
+			reg.Histogram("campaign_doh_"+string(pid)+"_ms", nil).Observe(d)
+			reg.Histogram("campaign_dohr_"+string(pid)+"_ms", nil).Observe(msDuration(res.TDoHRMs))
+			countryDoH.Observe(d)
+		}
+		if c.Do53Valid {
+			reg.Histogram("campaign_do53_ms", nil).Observe(msDuration(c.Do53Ms))
+		}
+		for pid, res := range c.DoT {
+			if !res.Valid {
+				continue
+			}
+			reg.Histogram("campaign_dot_"+string(pid)+"_ms", nil).Observe(msDuration(res.TDoTMs))
+		}
+	}
+}
+
+// publishAccounting exports the campaign's drop accounting and the
+// merged simulator counters. Gauges, not counters: the source of
+// truth stays the Dataset, and publishing is idempotent.
+func publishAccounting(reg *obs.Registry, ds *Dataset, sim proxynet.SimStats) {
+	reg.Gauge("campaign_clients").Set(float64(len(ds.Clients)))
+	reg.Gauge("campaign_discarded_mismatch").Set(float64(ds.DiscardedMismatch))
+	reg.Gauge("campaign_discarded_implausible").Set(float64(ds.DiscardedImplausible))
+	for kind, ts := range ds.Transports {
+		p := "campaign_" + string(kind) + "_"
+		reg.Gauge(p + "queries").Set(float64(ts.Queries))
+		reg.Gauge(p + "discards").Set(float64(ts.Discards))
+		reg.Gauge(p + "loss_events").Set(float64(ts.LossEvents))
+		reg.Gauge(p + "blocked").Set(float64(ts.Blocked))
+		reg.Gauge(p + "skipped").Set(float64(ts.Skipped))
+	}
+	for code, med := range ds.AtlasDo53Ms {
+		reg.Gauge("campaign_atlas_do53_ms_" + code).Set(med)
+	}
+	reg.Gauge("campaign_sim_loss_events").Set(float64(sim.LossEvents))
+	reg.Gauge("campaign_sim_dot_blocked").Set(float64(sim.DoTBlocked))
+	reg.Gauge("campaign_sim_exit_nodes").Set(float64(sim.ExitNodes))
+	reg.Gauge("campaign_sim_doh_measurements").Set(float64(sim.DoHMeasurements))
+	reg.Gauge("campaign_sim_do53_measurements").Set(float64(sim.Do53Measurements))
+	reg.Gauge("campaign_sim_dot_measurements").Set(float64(sim.DoTMeasurements))
+}
+
+// addSimStats sums two simulator snapshots.
+func addSimStats(a, b proxynet.SimStats) proxynet.SimStats {
+	a.LossEvents += b.LossEvents
+	a.DoTBlocked += b.DoTBlocked
+	a.ExitNodes += b.ExitNodes
+	a.DoHMeasurements += b.DoHMeasurements
+	a.Do53Measurements += b.Do53Measurements
+	a.DoTMeasurements += b.DoTMeasurements
+	return a
+}

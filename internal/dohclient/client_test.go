@@ -324,3 +324,32 @@ func TestHTTP2EndToEnd(t *testing.T) {
 		t.Error("second h2 query did not reuse the connection")
 	}
 }
+
+func TestNewLegacyDelegatesToNew(t *testing.T) {
+	srv, _ := newStack(t)
+	defer srv.Close()
+
+	c, err := NewLegacy(srv.URL+"/dns-query", WithPOST(), WithHTTPClient(srv.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(srv.URL+"/dns-query", &Options{POST: true, HTTPClient: srv.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deprecated constructor must be a pure adapter: same URL and
+	// the variadic options folded into the equivalent Options struct.
+	if c.serverURL.String() != want.serverURL.String() {
+		t.Errorf("serverURL = %q, want %q", c.serverURL, want.serverURL)
+	}
+	if c.usePOST != want.usePOST || c.hc != want.hc {
+		t.Errorf("legacy client = {post:%v hc:%p}, want {post:%v hc:%p}", c.usePOST, c.hc, want.usePOST, want.hc)
+	}
+	resp, _, err := c.Query(context.Background(), "legacy.a.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Query via NewLegacy client: %v", err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+}

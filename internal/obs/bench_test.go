@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The observation hot path must stay allocation-free: instrumentation
+// that allocates per event would perturb the very latencies it
+// measures (ISSUE 2 acceptance criterion).
+
+func TestObserveAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %.1f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.5) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %.1f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(37 * time.Millisecond) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f per op, want 0", n)
+	}
+}
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Millisecond)
+	}
+}
+
+func BenchmarkObsHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("h", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := 37 * time.Millisecond
+		for pb.Next() {
+			h.Observe(d)
+		}
+	})
+}
+
+func BenchmarkObsSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 20; i++ {
+		r.Histogram(time.Duration(i).String(), nil).Observe(time.Millisecond)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

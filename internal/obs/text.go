@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// The text exposition format: a stable, greppable, line-oriented dump
+// of a snapshot (expvar-in-spirit, but deterministic and typed).
+// Lines come in four shapes, with durations rendered as millisecond
+// floats:
+//
+//	counter <name> <int>
+//	gauge <name> <float>
+//	histogram <name> count <int> sum_ms <float> p50_ms <float> p95_ms <float> p99_ms <float>
+//	histogram_bucket <name> le_ms <float|+inf> count <int>
+//
+// Metrics appear sorted by name; bucket lines follow their histogram
+// line in ascending bound order. docs/observability.md documents the
+// schema.
+
+// WriteText writes the snapshot in the text exposition format.
+func (s Snapshot) WriteText(w io.Writer) error {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "gauge %s %g\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "histogram %s count %d sum_ms %.3f p50_ms %.3f p95_ms %.3f p99_ms %.3f\n",
+			h.Name, h.Count, ms(h.Sum), ms(h.P50), ms(h.P95), ms(h.P99)); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			bound := "+inf"
+			if b.UpperBound >= 0 {
+				bound = fmt.Sprintf("%g", ms(b.UpperBound))
+			}
+			if _, err := fmt.Fprintf(w, "histogram_bucket %s le_ms %s count %d\n",
+				h.Name, bound, b.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry's current snapshot in the text
+// exposition format — the /metrics endpoint for the server binaries.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.Snapshot().WriteText(w)
+	})
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one step of a measurement timeline — for DoH through
+// the proxy network, one of the 22 steps of the paper's Figure 2.
+type TraceEvent struct {
+	// Step is the 1-based step index (t1..t22 for the DoH timeline).
+	Step int
+	// Label names the step ("exit -> DoH PoP (query)").
+	Label string
+	// Duration is the step's virtual-time cost.
+	Duration time.Duration
+}
+
+// Trace is the full per-measurement timeline.
+type Trace struct {
+	// ID identifies the measurement (client/provider/query).
+	ID string
+	// Kind is the transport measured ("doh", "do53", "dot").
+	Kind string
+	// Events are the steps in timeline order.
+	Events []TraceEvent
+	// Total is the end-to-end duration the steps compose into.
+	Total time.Duration
+}
+
+// Sum adds up the event durations (the paper's Eq. 1 when the trace
+// holds the t_DoH step subset; a cross-check against Total otherwise).
+func (t Trace) Sum() time.Duration {
+	var sum time.Duration
+	for _, e := range t.Events {
+		sum += e.Duration
+	}
+	return sum
+}
+
+// WriteText renders the trace as an aligned step table.
+func (t Trace) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "trace %s kind=%s total=%v\n", t.ID, t.Kind, t.Total); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintf(w, "  t%-2d %-45s %10.2fms\n",
+			e.Step, e.Label, float64(e.Duration)/float64(time.Millisecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TraceRecorder keeps the most recent traces in a fixed-capacity ring.
+// Recording a trace never blocks measurement for long (one short
+// critical section) and never grows memory past the capacity set at
+// construction. Safe for concurrent use.
+type TraceRecorder struct {
+	mu       sync.Mutex
+	ring     []Trace
+	next     int // ring index of the next write
+	recorded int64
+}
+
+// NewTraceRecorder returns a recorder keeping the last capacity traces
+// (minimum 1).
+func NewTraceRecorder(capacity int) *TraceRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRecorder{ring: make([]Trace, 0, capacity)}
+}
+
+// Record stores t, evicting the oldest trace when full.
+func (r *TraceRecorder) Record(t Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, t)
+	} else {
+		r.ring[r.next] = t
+		r.next = (r.next + 1) % cap(r.ring)
+	}
+	r.recorded++
+}
+
+// Recorded returns the total number of traces ever recorded (kept or
+// since evicted).
+func (r *TraceRecorder) Recorded() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recorded
+}
+
+// Len returns the number of traces currently held.
+func (r *TraceRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ring)
+}
+
+// Snapshot copies the held traces, oldest first.
+func (r *TraceRecorder) Snapshot() []Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Last returns the most recently recorded trace.
+func (r *TraceRecorder) Last() (Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) == 0 {
+		return Trace{}, false
+	}
+	idx := r.next - 1
+	if idx < 0 {
+		idx = len(r.ring) - 1
+	}
+	return r.ring[idx], true
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTrace(i int) Trace {
+	return Trace{
+		ID:   fmt.Sprintf("m-%d", i),
+		Kind: "doh",
+		Events: []TraceEvent{
+			{Step: 1, Label: "client -> Super Proxy (CONNECT)", Duration: 10 * time.Millisecond},
+			{Step: 2, Label: "Super Proxy -> exit node", Duration: 20 * time.Millisecond},
+		},
+		Total: 30 * time.Millisecond,
+	}
+}
+
+func TestTraceSum(t *testing.T) {
+	tr := sampleTrace(0)
+	if got := tr.Sum(); got != 30*time.Millisecond {
+		t.Fatalf("Sum = %v, want 30ms", got)
+	}
+}
+
+func TestTraceRecorderRing(t *testing.T) {
+	r := NewTraceRecorder(3)
+	if _, ok := r.Last(); ok {
+		t.Fatal("empty recorder returned a trace")
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(sampleTrace(i))
+	}
+	if got := r.Recorded(); got != 5 {
+		t.Fatalf("Recorded = %d, want 5", got)
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	snap := r.Snapshot()
+	wantIDs := []string{"m-2", "m-3", "m-4"} // oldest first
+	for i, tr := range snap {
+		if tr.ID != wantIDs[i] {
+			t.Fatalf("snapshot[%d] = %s, want %s (full: %v)", i, tr.ID, wantIDs[i], ids(snap))
+		}
+	}
+	last, ok := r.Last()
+	if !ok || last.ID != "m-4" {
+		t.Fatalf("Last = %v, %v; want m-4", last.ID, ok)
+	}
+}
+
+func TestTraceRecorderPartialFill(t *testing.T) {
+	r := NewTraceRecorder(8)
+	r.Record(sampleTrace(0))
+	r.Record(sampleTrace(1))
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "m-0" || snap[1].ID != "m-1" {
+		t.Fatalf("snapshot = %v, want [m-0 m-1]", ids(snap))
+	}
+	last, ok := r.Last()
+	if !ok || last.ID != "m-1" {
+		t.Fatalf("Last = %v, %v; want m-1", last.ID, ok)
+	}
+}
+
+func TestTraceWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace(7).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"trace m-7 kind=doh total=30ms", "t1 ", "CONNECT", "10.00ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func ids(traces []Trace) []string {
+	out := make([]string, len(traces))
+	for i, tr := range traces {
+		out[i] = tr.ID
+	}
+	return out
+}

@@ -52,6 +52,7 @@ func (s *Sim) MeasureDoT(node *ExitNode, pid anycast.ProviderID, queryName strin
 	if s.Rand.Float64() < DoTBlockProb {
 		obs.Blocked = true
 		atomic.AddInt64(&s.stats.dotBlocked, 1)
+		s.instr.recordDoTBlocked()
 		return obs, gt
 	}
 	provider := s.Providers[pid]
@@ -96,5 +97,6 @@ func (s *Sim) MeasureDoT(node *ExitNode, pid anycast.ProviderID, queryName strin
 
 	gt.TDoT = dns + connect + tlsRTT + req
 	gt.TDoTR = req
+	s.instr.recordDoT(gt)
 	return obs, gt
 }

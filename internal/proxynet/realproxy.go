@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/dnsclient"
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 )
 
 // RealProxy is an HTTP CONNECT proxy over real TCP sockets that plays
@@ -35,11 +36,35 @@ type RealProxy struct {
 	// ProcessingDelay artificially inflates the proxy's internal
 	// processing, for exercising the t_BrightData accounting.
 	ProcessingDelay time.Duration
+	// Obs, when set before ListenAndServe, receives tunnel counters
+	// and exit-side timing histograms under superproxy_* names.
+	Obs *obs.Registry
 
 	ln     net.Listener
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	closed bool
+	instr  *proxyInstruments
+}
+
+// proxyInstruments holds the registry handles for a running proxy.
+type proxyInstruments struct {
+	tunnels, rejects *obs.Counter
+	dns, connect     *obs.Histogram
+}
+
+func (in *proxyInstruments) reject() {
+	if in != nil {
+		in.rejects.Inc()
+	}
+}
+
+func (in *proxyInstruments) tunnel(dns, connect time.Duration) {
+	if in != nil {
+		in.tunnels.Inc()
+		in.dns.Observe(dns)
+		in.connect.Observe(connect)
+	}
 }
 
 // ListenAndServe binds addr ("127.0.0.1:0") and serves until Close.
@@ -47,6 +72,14 @@ func (p *RealProxy) ListenAndServe(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
+	}
+	if p.Obs != nil {
+		p.instr = &proxyInstruments{
+			tunnels: p.Obs.Counter("superproxy_tunnels_total"),
+			rejects: p.Obs.Counter("superproxy_rejects_total"),
+			dns:     p.Obs.Histogram("superproxy_dns_lookup_ms", nil),
+			connect: p.Obs.Histogram("superproxy_connect_ms", nil),
+		}
 	}
 	p.ln = ln
 	p.wg.Add(1)
@@ -93,6 +126,7 @@ func (p *RealProxy) handle(conn net.Conn) {
 	if req.Method != http.MethodConnect {
 		resp := "HTTP/1.1 405 Method Not Allowed\r\nContent-Length: 0\r\n\r\n"
 		io.WriteString(conn, resp)
+		p.instr.reject()
 		return
 	}
 
@@ -103,6 +137,7 @@ func (p *RealProxy) handle(conn net.Conn) {
 	host, port, err := net.SplitHostPort(req.Host)
 	if err != nil {
 		io.WriteString(conn, "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n")
+		p.instr.reject()
 		return
 	}
 	proc := time.Since(procStart)
@@ -113,12 +148,14 @@ func (p *RealProxy) handle(conn net.Conn) {
 	if _, err := netip.ParseAddr(host); err != nil {
 		if p.ResolverAddr == "" {
 			io.WriteString(conn, "HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n")
+			p.instr.reject()
 			return
 		}
 		addr, dur, rerr := p.resolve(host)
 		dnsDur = dur
 		if rerr != nil {
 			io.WriteString(conn, "HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n")
+			p.instr.reject()
 			return
 		}
 		target = addr.String()
@@ -128,10 +165,12 @@ func (p *RealProxy) handle(conn net.Conn) {
 	upstream, err := p.Dialer.Dial("tcp", net.JoinHostPort(target, port))
 	if err != nil {
 		io.WriteString(conn, "HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n")
+		p.instr.reject()
 		return
 	}
 	defer upstream.Close()
 	connectDur := time.Since(connectStart)
+	p.instr.tunnel(dnsDur, connectDur)
 
 	tun := TunTimeline{DNS: dnsDur, Connect: connectDur}
 	timeline := ProxyTimeline{

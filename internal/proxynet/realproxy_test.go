@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/authserver"
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 )
 
 // echoTCP starts a TCP server that echoes one line back.
@@ -230,5 +231,37 @@ func TestRealProxyConcurrentTunnels(t *testing.T) {
 		if err := <-errs; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestRealProxyMetrics(t *testing.T) {
+	target := echoTCP(t)
+	reg := obs.NewRegistry()
+	p := &RealProxy{Obs: reg}
+	if err := p.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	conn, _, _, _, err := DialViaProxy(ctx, p.Addr(), target.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// A hostname CONNECT without a resolver is rejected and counted.
+	if _, _, _, _, err := DialViaProxy(ctx, p.Addr(), "name.example:80"); err == nil {
+		t.Fatal("hostname CONNECT succeeded without a resolver")
+	}
+
+	if got := reg.Counter("superproxy_tunnels_total").Value(); got != 1 {
+		t.Errorf("tunnels_total = %d, want 1", got)
+	}
+	if got := reg.Counter("superproxy_rejects_total").Value(); got != 1 {
+		t.Errorf("rejects_total = %d, want 1", got)
+	}
+	if got := reg.Histogram("superproxy_connect_ms", nil).Count(); got != 1 {
+		t.Errorf("connect histogram count = %d, want 1", got)
 	}
 }

@@ -41,6 +41,11 @@ type Sim struct {
 	superCodes   []string
 	exitCounter  int
 	stats        simCounters
+	// lossPtr is the live loss-event cell: &stats.lossEvents by
+	// default, redirected to a registry counter by Instrument.
+	lossPtr *int64
+	// instr holds the observability handles; nil until Instrument.
+	instr *simInstruments
 }
 
 // simCounters holds the event counters behind Stats. All fields are
@@ -78,7 +83,7 @@ type SimStats struct {
 // Stats returns a snapshot of the simulator's event counters.
 func (s *Sim) Stats() SimStats {
 	return SimStats{
-		LossEvents:       atomic.LoadInt64(&s.stats.lossEvents),
+		LossEvents:       atomic.LoadInt64(s.lossPtr),
 		DoTBlocked:       atomic.LoadInt64(&s.stats.dotBlocked),
 		ExitNodes:        atomic.LoadInt64(&s.stats.exitNodes),
 		DoHMeasurements:  atomic.LoadInt64(&s.stats.dohMeasurements),
@@ -100,7 +105,8 @@ func NewSim(seed int64) *Sim {
 		Lab:       netsim.Endpoint{Pos: labPosition, Country: world.MustByCode("US")},
 		Alloc:     geoip.NewAllocator(0),
 	}
-	s.Model.LossCounter = &s.stats.lossEvents
+	s.lossPtr = &s.stats.lossEvents
+	s.Model.LossCounter = s.lossPtr
 	for _, ct := range world.SuperProxyCountries() {
 		s.superProxies = append(s.superProxies, netsim.Endpoint{
 			Pos: ct.Centroid, Country: ct,
@@ -411,6 +417,7 @@ func (s *Sim) MeasureDoH(node *ExitNode, pid anycast.ProviderID, queryName strin
 		gt.Steps[11] + gt.Steps[12] +
 		gt.Steps[17] + gt.Steps[18] + gt.Steps[19] + gt.Steps[20]
 	gt.TDoHR = gt.Steps[17] + gt.Steps[18] + gt.Steps[19] + gt.Steps[20]
+	s.instr.recordDoH(pid, queryName, obs, gt)
 	return obs, gt
 }
 
@@ -468,6 +475,7 @@ func (s *Sim) MeasureDo53(node *ExitNode, queryName string) (Do53Observation, Do
 			Connect: s.Model.NewPath(s.Rand, node.super, s.Lab).RTT(s.Rand),
 		}
 		obs.ViaSuperProxy = true
+		s.instr.recordDo53(true, gt)
 		return obs, gt
 	}
 
@@ -475,5 +483,6 @@ func (s *Sim) MeasureDo53(node *ExitNode, queryName string) (Do53Observation, Do
 		DNS:     trueDo53,
 		Connect: s.Model.NewPath(s.Rand, node.Endpoint, s.Lab).RTT(s.Rand),
 	}
+	s.instr.recordDo53(false, gt)
 	return obs, gt
 }

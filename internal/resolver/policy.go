@@ -8,17 +8,20 @@ import (
 	"time"
 
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 )
 
 // Policy bundles the standard middleware stack. Apply composes it in
 // the canonical order (innermost first):
 //
 //	transport -> WithFaults -> per-attempt WithTimeout -> WithRetry
-//	          -> WithHedging -> overall WithTimeout
+//	          -> WithHedging -> overall WithTimeout -> entry metrics
+//	          -> WithMetrics (registry histograms)
 //
 // so each retry attempt is individually deadline-bounded, the retry
-// loop as a whole respects the overall deadline, and injected faults
-// look to the policy layers exactly like wire faults.
+// loop as a whole respects the overall deadline, injected faults look
+// to the policy layers exactly like wire faults, and the registry's
+// histograms see the end-to-end timing including backoff sleeps.
 type Policy struct {
 	// Retry, when non-nil, adds exponential-backoff retries.
 	Retry *RetryPolicy
@@ -34,6 +37,13 @@ type Policy struct {
 	Faults *FaultConfig
 	// Metrics, when non-nil, receives counters from every layer.
 	Metrics *Metrics
+	// Registry, when non-nil, adds a WithMetrics layer outermost so
+	// per-phase latency histograms and query/error counters land in
+	// the observability registry (internal/obs).
+	Registry *obs.Registry
+	// Kind names the transport in the registry's metric names
+	// (resolver_<kind>_*). Empty publishes under "all".
+	Kind Kind
 }
 
 // Apply wraps r with the policy's middleware stack.
@@ -59,6 +69,9 @@ func Apply(r Resolver, p Policy) Resolver {
 	}
 	if p.Metrics != nil {
 		r = withEntryMetrics(r, p.Metrics)
+	}
+	if p.Registry != nil {
+		r = WithMetrics(r, p.Registry, p.Kind)
 	}
 	return r
 }
