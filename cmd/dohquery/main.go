@@ -9,6 +9,7 @@
 //	dohquery -dot 127.0.0.1:8853 -insecure example.com A
 //	dohquery -doh https://... -n 5 example.com A       # reuse the connection
 //	dohquery -do53 ... -retries 3 -hedge 50ms example.com
+//	dohquery -doh https://... -n 20 -breaker 5 example.com   # circuit-break a dead endpoint
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 	retries := flag.Int("retries", 0, "max retry attempts on failure (0 disables retry)")
 	hedge := flag.Duration("hedge", 0, "hedging delay: launch a second attempt if no answer after this long (0 disables)")
 	attemptTimeout := flag.Duration("attempt-timeout", 0, "per-attempt timeout inside the retry loop (0 disables)")
+	breaker := flag.Int("breaker", 0, "circuit breaker: short-circuit after this many consecutive failures, probing every 30s (0 disables)")
 	dumpMetrics := flag.Bool("metrics", false, "dump the metrics registry (text exposition format) to stderr on exit")
 	flag.Parse()
 
@@ -111,6 +113,9 @@ func main() {
 	}
 	if *retries > 0 {
 		pol.Retry = &resolver.RetryPolicy{MaxAttempts: *retries + 1}
+	}
+	if *breaker > 0 {
+		pol.Breaker = &resolver.BreakerPolicy{FailureThreshold: *breaker}
 	}
 	res := resolver.Apply(base, pol)
 

@@ -27,13 +27,17 @@ func main() {
 	resolver := flag.String("resolver", "", "DNS server for target resolution (host:port); empty = IP literals only")
 	delay := flag.Duration("processing-delay", 0, "artificial proxy processing delay (exercises t_BrightData accounting)")
 	metrics := flag.String("metrics", "", "serve the /metrics text endpoint on this address (e.g. 127.0.0.1:9310)")
+	handshakeTimeout := flag.Duration("handshake-timeout", 30*time.Second, "deadline for the whole CONNECT handshake; stalled clients are reaped")
+	maxHeaderBytes := flag.Int("max-header-bytes", 16<<10, "cap on buffered CONNECT request headers before answering 431")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
 	proxy := &proxynet.RealProxy{
-		ResolverAddr:    *resolver,
-		ProcessingDelay: *delay,
-		Obs:             reg,
+		ResolverAddr:     *resolver,
+		ProcessingDelay:  *delay,
+		Obs:              reg,
+		HandshakeTimeout: *handshakeTimeout,
+		MaxHeaderBytes:   *maxHeaderBytes,
 	}
 	if err := proxy.ListenAndServe(*listen); err != nil {
 		log.Fatalf("superproxy: %v", err)

@@ -12,21 +12,33 @@
 //	worldstudy -import ./release     # analyze a published dataset
 //	worldstudy -figures ./figs       # write plottable CDF series
 //	worldstudy -timeline BR          # one measurement's 22-step breakdown
+//	worldstudy -resume ./ckpt        # journal countries; re-run skips completed ones
+//	worldstudy -breaker 5            # circuit-break dead provider×country pairs
+//	worldstudy -chaos-churn 0.05     # inject exit-node churn into the simulation
+//
+// SIGINT/SIGTERM interrupt the campaign cleanly: completed countries
+// are flushed (and journaled under -resume) and the process exits 0.
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/anycast"
 	"repro/internal/campaign"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/proxynet"
@@ -45,7 +57,15 @@ func main() {
 	figures := flag.String("figures", "", "directory to write plottable figure series (figure*.csv)")
 	transports := flag.String("transports", "", "comma-separated transports to measure (do53,doh,dot; default: the paper's do53,doh)")
 	metrics := flag.String("metrics", "", "write the campaign metrics snapshot in text exposition format (\"-\" = stderr, else a file path)")
+	resume := flag.String("resume", "", "checkpoint directory: journal each completed country and skip journaled ones on re-run")
+	breaker := flag.Int("breaker", 0, "circuit breaker: per provider×country, trip after this many consecutive failures (0 disables)")
+	chaosChurn := flag.Float64("chaos-churn", 0, "probability per measurement that the exit node churns mid-tunnel")
+	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "probability per measurement that the X-Luminati timing headers go missing or garbled")
+	chaosReset := flag.Float64("chaos-reset", 0, "probability per measurement that the Super-Proxy connection resets")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *timeline != "" {
 		if err := printTimeline(*seed, *timeline); err != nil {
@@ -66,6 +86,17 @@ func main() {
 			cfg.Transports = append(cfg.Transports, kind)
 		}
 	}
+	cfg.CheckpointDir = *resume
+	cfg.Chaos = proxynet.Chaos{
+		ExitChurnProb:     *chaosChurn,
+		HeaderCorruptProb: *chaosCorrupt,
+		ConnResetProb:     *chaosReset,
+	}
+	if *breaker > 0 {
+		// Count-based probing keeps the campaign a pure function of
+		// its seed (wall-clock probes would not).
+		cfg.Breaker = &resolver.BreakerPolicy{FailureThreshold: *breaker, ProbeEvery: 2 * *breaker}
+	}
 
 	start := time.Now()
 	var suite *experiments.Suite
@@ -73,12 +104,18 @@ func main() {
 	if *importDir != "" {
 		suite, err = importSuite(cfg, *importDir, *minClients)
 	} else {
-		suite, err = experiments.NewSuite(cfg, *minClients)
+		suite, err = experiments.NewSuiteContext(ctx, cfg, *minClients)
 	}
-	if err != nil {
+	interrupted := err != nil && errors.Is(err, context.Canceled) && suite != nil
+	if err != nil && !interrupted {
 		log.Fatalf("worldstudy: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "worldstudy: campaign done in %v: %d clients, %d analyzed countries, %d mismatches discarded\n",
+	verb := "done"
+	if interrupted {
+		verb = "interrupted"
+	}
+	fmt.Fprintf(os.Stderr, "worldstudy: campaign %s in %v: %d clients, %d analyzed countries, %d mismatches discarded\n",
+		verb,
 		time.Since(start).Round(time.Millisecond),
 		len(suite.Dataset.Clients),
 		len(suite.Analysis.AnalyzedCountryCodes()),
@@ -88,13 +125,32 @@ func main() {
 		if !ok {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "worldstudy: %-5s %d queries, %d discarded, %d skipped, %d loss events, %d blocked\n",
-			kind, stats.Queries, stats.Discards, stats.Skipped, stats.LossEvents, stats.Blocked)
+		fmt.Fprintf(os.Stderr, "worldstudy: %-5s %d queries, %d ok, %d discarded, %d skipped, %d loss events, %d blocked\n",
+			kind, stats.Queries, stats.Successes, stats.Discards, stats.Skipped, stats.LossEvents, stats.Blocked)
+		if bs, ok := suite.Dataset.Breakers[kind]; ok {
+			fmt.Fprintf(os.Stderr, "worldstudy: %-5s breaker: %d trips, %d short circuits, %d probes, %d ended open\n",
+				kind, bs.Trips, bs.ShortCircuits, bs.Probes, bs.EndedOpen)
+		}
 	}
 	if *metrics != "" {
 		if err := writeMetrics(suite.Dataset, *metrics); err != nil {
 			log.Fatalf("worldstudy: metrics: %v", err)
 		}
+	}
+	if interrupted {
+		// Flush what was measured and exit cleanly. The reports and
+		// figure series would silently describe a truncated world, so
+		// they are skipped; the exported CSV is the partial dataset.
+		if *export != "" {
+			if err := exportDataset(suite.Dataset, *export); err != nil {
+				log.Fatalf("worldstudy: export: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "worldstudy: partial dataset written to %s\n", *export)
+		}
+		if *resume != "" {
+			fmt.Fprintf(os.Stderr, "worldstudy: re-run with -resume %s to continue this campaign\n", *resume)
+		}
+		return
 	}
 
 	if *figures != "" {
@@ -136,41 +192,38 @@ func main() {
 }
 
 // writeMetrics dumps the campaign's observability snapshot ("-" means
-// stderr, anything else a file path).
+// stderr, anything else a file path, written atomically).
 func writeMetrics(ds *campaign.Dataset, dest string) error {
 	if dest == "-" {
 		return ds.Obs.WriteText(os.Stderr)
 	}
-	f, err := os.Create(dest)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := ds.Obs.WriteText(&buf); err != nil {
 		return err
 	}
-	if err := ds.Obs.WriteText(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return checkpoint.WriteFileAtomic(dest, buf.Bytes(), 0o644)
 }
 
-// exportDataset writes the release files the paper publishes.
+// exportDataset writes the release files the paper publishes. Writes
+// are atomic (temp file + rename) so an interrupt mid-export can never
+// leave a truncated dataset.csv behind — a consumer sees the previous
+// export or the complete new one.
 func exportDataset(ds *campaign.Dataset, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	main, err := os.Create(filepath.Join(dir, "dataset.csv"))
-	if err != nil {
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
 		return err
 	}
-	defer main.Close()
-	if err := ds.WriteCSV(main); err != nil {
+	if err := checkpoint.WriteFileAtomic(filepath.Join(dir, "dataset.csv"), buf.Bytes(), 0o644); err != nil {
 		return err
 	}
-	atlas, err := os.Create(filepath.Join(dir, "atlas_do53.csv"))
-	if err != nil {
+	buf.Reset()
+	if err := ds.WriteAtlasCSV(&buf); err != nil {
 		return err
 	}
-	defer atlas.Close()
-	return ds.WriteAtlasCSV(atlas)
+	return checkpoint.WriteFileAtomic(filepath.Join(dir, "atlas_do53.csv"), buf.Bytes(), 0o644)
 }
 
 // importSuite loads a dataset release and prepares the analyses over

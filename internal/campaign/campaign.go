@@ -10,6 +10,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/anycast"
 	"repro/internal/atlas"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/geoip"
@@ -66,6 +68,31 @@ type Config struct {
 	// gauges, merged simulator counters). When nil a private registry
 	// is used; either way Dataset.Obs carries the final snapshot.
 	Obs *obs.Registry
+	// Chaos, when any probability is non-zero, arms each country
+	// simulator's failure injector (exit churn, header corruption,
+	// tunnel resets). Chaos draws come from a per-country stream
+	// derived from Seed, so a chaos campaign is as reproducible and
+	// parallelism-invariant as a clean one.
+	Chaos proxynet.Chaos
+	// Breaker, when non-nil, arms one circuit breaker per
+	// provider×country measurement loop (DoH and DoT). Runs
+	// short-circuited by an open breaker are counted in
+	// TransportStats.Skipped, and trip totals surface in
+	// Dataset.Breakers and the resolver_<kind>_breaker_* gauges. Use a
+	// count-based ProbeEvery schedule: wall-clock probing would make
+	// the dataset depend on host timing.
+	Breaker *resolver.BreakerPolicy
+	// CheckpointDir, when set, journals every completed country so an
+	// interrupted campaign can resume without re-measuring. Records
+	// are keyed by a hash of the result-affecting configuration; a
+	// journal written under different parameters is ignored. A resumed
+	// campaign is byte-for-byte identical to an uninterrupted one.
+	CheckpointDir string
+	// OnCountryDone, when non-nil, observes each completed country
+	// (after journaling) with the number of kept clients and whether
+	// the record came from the checkpoint journal. Called from worker
+	// goroutines, serialized by the campaign.
+	OnCountryDone func(code string, clients int, resumed bool)
 }
 
 // DefaultConfig reproduces the paper's campaign shape: with the
@@ -200,6 +227,9 @@ type Dataset struct {
 	// loss events they absorbed (paper §3.5's drop handling, reported
 	// per transport instead of silently lost).
 	Transports map[resolver.Kind]TransportStats
+	// Breakers reports circuit-breaker activity per transport kind;
+	// empty unless Config.Breaker armed them.
+	Breakers map[resolver.Kind]BreakerStats
 	// Obs is the campaign's observability snapshot: per-provider and
 	// per-country latency histograms, accounting gauges, and the
 	// merged simulator counters. Deterministic for a given Config
@@ -207,12 +237,21 @@ type Dataset struct {
 	Obs obs.Snapshot
 	// Seed echoes the campaign seed.
 	Seed int64
+	// Partial reports that the campaign was canceled before every
+	// country finished: Clients covers only the completed countries
+	// and the Atlas remedy was skipped.
+	Partial bool
 }
 
 // TransportStats is the per-transport drop accounting for a campaign.
 type TransportStats struct {
 	// Queries counts measurement runs issued on the transport.
 	Queries int
+	// Successes counts runs that produced a usable estimate. Every
+	// issued run lands in exactly one bucket, so
+	// Queries == Successes + Discards always holds — the balance the
+	// chaos soak asserts on.
+	Successes int
 	// Discards counts runs dropped by the estimator's plausibility
 	// checks (or, for Do53 in Super-Proxy countries, the §3.5
 	// invalidation) — plus blocked DoT sessions.
@@ -235,6 +274,7 @@ type TransportStats struct {
 // merge accumulates per-country stats into the dataset total.
 func (t TransportStats) merge(o TransportStats) TransportStats {
 	t.Queries += o.Queries
+	t.Successes += o.Successes
 	t.Discards += o.Discards
 	t.LossEvents += o.LossEvents
 	t.Blocked += o.Blocked
@@ -242,8 +282,46 @@ func (t TransportStats) merge(o TransportStats) TransportStats {
 	return t
 }
 
-// Run executes the campaign.
+// BreakerStats aggregates the per-provider×country circuit breakers
+// for one transport kind.
+type BreakerStats struct {
+	// Trips counts closed/half-open -> open transitions.
+	Trips int64
+	// ShortCircuits counts runs rejected while open (these are also in
+	// TransportStats.Skipped).
+	ShortCircuits int64
+	// Probes counts half-open probe admissions.
+	Probes int64
+	// EndedOpen counts breakers still open when their country finished
+	// — the per-target "this transport is dead here" signal.
+	EndedOpen int64
+}
+
+// mergeBreakers accumulates per-country breaker stats.
+func mergeBreakers(dst map[resolver.Kind]BreakerStats, src map[resolver.Kind]BreakerStats) {
+	for kind, bs := range src {
+		d := dst[kind]
+		d.Trips += bs.Trips
+		d.ShortCircuits += bs.ShortCircuits
+		d.Probes += bs.Probes
+		d.EndedOpen += bs.EndedOpen
+		dst[kind] = d
+	}
+}
+
+// Run executes the campaign to completion (no cancellation).
 func Run(cfg Config) (*Dataset, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the campaign under ctx. On cancellation it
+// returns the partial dataset covering every country that had already
+// finished (flagged Partial, Atlas remedy skipped) together with the
+// wrapped context error, so a caller trapping SIGINT can still flush
+// what the campaign measured. The in-flight countries are abandoned,
+// not journaled: a resumed campaign re-measures them from their own
+// seeds, which is what keeps resumption byte-identical.
+func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 	if cfg.RunsPerClient <= 0 {
 		cfg.RunsPerClient = 2
 	}
@@ -266,6 +344,7 @@ func Run(cfg Config) (*Dataset, error) {
 	ds := &Dataset{
 		AtlasDo53Ms: make(map[string]float64),
 		Transports:  make(map[resolver.Kind]TransportStats, len(transports)),
+		Breakers:    make(map[resolver.Kind]BreakerStats),
 		Seed:        cfg.Seed,
 	}
 	for _, k := range transports {
@@ -290,13 +369,33 @@ func Run(cfg Config) (*Dataset, error) {
 		workers = 1
 	}
 
+	var journal *checkpoint.Journal
+	if cfg.CheckpointDir != "" {
+		journal, err = checkpoint.Open(cfg.CheckpointDir, configKey(cfg, providers))
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Serializes journaling + the OnCountryDone callback across workers.
+	var doneMu sync.Mutex
+	countryDone := func(code string, clients int, resumed bool) {
+		if cfg.OnCountryDone == nil {
+			return
+		}
+		doneMu.Lock()
+		defer doneMu.Unlock()
+		cfg.OnCountryDone(code, clients, resumed)
+	}
+
 	// Each country is measured on its own simulator, seeded from the
 	// campaign seed and the country code. This makes the dataset a
 	// pure function of the configuration: the same records come back
-	// whether countries run serially or on N workers.
+	// whether countries run serially or on N workers, and a journaled
+	// country can be loaded back verbatim on resume.
 	results := make([][]ClientRecord, len(countries))
 	accounts := make([]countryAccounting, len(countries))
 	errs := make([]error, len(countries))
+	completed := make([]bool, len(countries))
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -304,30 +403,75 @@ func Run(cfg Config) (*Dataset, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range work {
-				results[idx], accounts[idx], errs[idx] =
-					measureCountry(cfg, countries[idx], providers)
+				code := countries[idx]
+				if journal != nil {
+					var rec countryRecord
+					ok, jerr := journal.Get(code, &rec)
+					if jerr != nil {
+						errs[idx] = jerr
+						continue
+					}
+					if ok {
+						results[idx], accounts[idx] = rec.restore()
+						completed[idx] = true
+						countryDone(code, len(results[idx]), true)
+						continue
+					}
+				}
+				res, acct, merr := measureCountry(ctx, cfg, code, providers)
+				if merr != nil {
+					errs[idx] = merr
+					continue
+				}
+				results[idx], accounts[idx] = res, acct
+				completed[idx] = true
+				if journal != nil {
+					if jerr := journal.Put(code, newCountryRecord(res, acct)); jerr != nil {
+						errs[idx] = jerr
+						continue
+					}
+				}
+				countryDone(code, len(res), false)
 			}
 		}()
 	}
+feed:
 	for idx := range countries {
-		work <- idx
+		select {
+		case work <- idx:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			return nil, err
 		}
 	}
 	var simTotal proxynet.SimStats
 	for i := range countries {
+		if !completed[i] {
+			continue
+		}
 		ds.Clients = append(ds.Clients, results[i]...)
 		ds.DiscardedMismatch += accounts[i].mismatch
 		ds.DiscardedImplausible += accounts[i].implausible
 		for kind, stats := range accounts[i].transports {
 			ds.Transports[kind] = ds.Transports[kind].merge(stats)
 		}
+		mergeBreakers(ds.Breakers, accounts[i].breakers)
 		simTotal = addSimStats(simTotal, accounts[i].simStats)
+	}
+
+	if err := ctx.Err(); err != nil {
+		// Partial flush: the completed countries' records, accounting,
+		// and observability — but no Atlas remedy, which would hide
+		// the missing Do53 coverage behind fresh probe data.
+		ds.Partial = true
+		finishObs(cfg, ds, simTotal)
+		return ds, fmt.Errorf("campaign: interrupted: %w", err)
 	}
 
 	// Remedy: Atlas Do53 medians for the Super-Proxy countries. The
@@ -347,9 +491,14 @@ func Run(cfg Config) (*Dataset, error) {
 		ds.AtlasDo53Ms[ct.Code] = med
 	}
 
-	// Assemble the observability view from the finished dataset; the
-	// snapshot is a pure function of the records and accounting, so it
-	// inherits their schedule independence.
+	finishObs(cfg, ds, simTotal)
+	return ds, nil
+}
+
+// finishObs assembles the observability view from the finished (or
+// partially finished) dataset; the snapshot is a pure function of the
+// records and accounting, so it inherits their schedule independence.
+func finishObs(cfg Config, ds *Dataset, simTotal proxynet.SimStats) {
 	reg := cfg.Obs
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -357,7 +506,68 @@ func Run(cfg Config) (*Dataset, error) {
 	observeClients(reg, ds.Clients)
 	publishAccounting(reg, ds, simTotal)
 	ds.Obs = reg.Snapshot()
-	return ds, nil
+}
+
+// configKey hashes the result-affecting configuration. Two configs
+// with the same key produce identical per-country records, so a
+// checkpoint journal may only be replayed under the same key. The
+// country list deliberately stays out of the hash: a journal written
+// while measuring a subset remains valid for the full campaign, which
+// is exactly the interrupt-then-resume path. Parallel and Obs are
+// schedule/reporting knobs with no effect on the records; AtlasProbes
+// only affects the remedy, which is recomputed on every run.
+func configKey(cfg Config, providers []anycast.ProviderID) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v1|seed=%d|runs=%d|max=%d|scale=%g|", cfg.Seed, cfg.RunsPerClient, cfg.MaxClients, cfg.ClientScale)
+	for _, p := range providers {
+		fmt.Fprintf(h, "p=%s|", p)
+	}
+	for _, k := range cfg.Transports {
+		fmt.Fprintf(h, "t=%s|", k)
+	}
+	fmt.Fprintf(h, "chaos=%g/%g/%g|", cfg.Chaos.ExitChurnProb, cfg.Chaos.HeaderCorruptProb, cfg.Chaos.ConnResetProb)
+	if cfg.Breaker != nil {
+		fmt.Fprintf(h, "brk=%d/%d/%d|", cfg.Breaker.FailureThreshold, cfg.Breaker.ProbeEvery, cfg.Breaker.SuccessesToClose)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// countryRecord is the checkpoint journal payload for one completed
+// country: everything measureCountry produced, JSON-round-trippable
+// (float64 survives encoding/json exactly, so restored records are
+// byte-identical in the CSV export).
+type countryRecord struct {
+	Clients     []ClientRecord                   `json:"clients"`
+	Mismatch    int                              `json:"mismatch"`
+	Implausible int                              `json:"implausible"`
+	Transports  map[resolver.Kind]TransportStats `json:"transports"`
+	Breakers    map[resolver.Kind]BreakerStats   `json:"breakers,omitempty"`
+	SimStats    proxynet.SimStats                `json:"sim_stats"`
+}
+
+func newCountryRecord(clients []ClientRecord, acct countryAccounting) countryRecord {
+	return countryRecord{
+		Clients:     clients,
+		Mismatch:    acct.mismatch,
+		Implausible: acct.implausible,
+		Transports:  acct.transports,
+		Breakers:    acct.breakers,
+		SimStats:    acct.simStats,
+	}
+}
+
+func (r countryRecord) restore() ([]ClientRecord, countryAccounting) {
+	acct := countryAccounting{
+		mismatch:    r.Mismatch,
+		implausible: r.Implausible,
+		transports:  r.Transports,
+		breakers:    r.Breakers,
+		simStats:    r.SimStats,
+	}
+	if acct.transports == nil {
+		acct.transports = make(map[resolver.Kind]TransportStats)
+	}
+	return r.Clients, acct
 }
 
 // ClientsByCountry groups kept clients per country code.
@@ -446,6 +656,9 @@ type countryAccounting struct {
 	mismatch    int
 	implausible int
 	transports  map[resolver.Kind]TransportStats
+	// breakers aggregates the country's provider breakers per kind;
+	// nil unless Config.Breaker armed them.
+	breakers map[resolver.Kind]BreakerStats
 	// simStats is the country simulator's final counter snapshot,
 	// merged into the campaign registry by Run. Per-country sims keep
 	// private counters (lossTracker needs sequential per-sim deltas),
@@ -469,16 +682,48 @@ func (lt *lossTracker) delta() int64 {
 }
 
 // measureCountry provisions and measures all of one country's clients
-// on a dedicated simulator.
-func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]ClientRecord, countryAccounting, error) {
+// on a dedicated simulator. Cancellation is checked between clients:
+// an abandoned country returns the context error and is never
+// journaled, so a resumed campaign re-measures it in full.
+func measureCountry(ctx context.Context, cfg Config, code string, providers []anycast.ProviderID) ([]ClientRecord, countryAccounting, error) {
 	acct := countryAccounting{transports: make(map[resolver.Kind]TransportStats)}
 	ct, ok := world.ByCode(code)
 	if !ok {
 		return nil, acct, fmt.Errorf("campaign: unknown country %q", code)
 	}
 	sim := proxynet.NewSim(countrySeed(cfg.Seed, code))
+	if cfg.Chaos.Enabled() {
+		// A chaos stream of its own, also derived from the campaign
+		// seed: per-country, deterministic, schedule-independent.
+		sim.EnableChaos(countrySeed(cfg.Seed, code+"/chaos"), cfg.Chaos)
+	}
 	locator := geoip.NewService(sim.Alloc)
 	losses := &lossTracker{sim: sim}
+
+	// One breaker per kind×provider, shared across the country's
+	// clients: a transport that is dead country-wide (blocked DoT,
+	// chaos-saturated DoH) trips after FailureThreshold consecutive
+	// failures, and the remaining runs are skipped instead of measured.
+	var breakers map[resolver.Kind]map[anycast.ProviderID]*resolver.Breaker
+	brkFor := func(kind resolver.Kind, pid anycast.ProviderID) *resolver.Breaker {
+		if cfg.Breaker == nil {
+			return nil
+		}
+		if breakers == nil {
+			breakers = make(map[resolver.Kind]map[anycast.ProviderID]*resolver.Breaker)
+		}
+		m := breakers[kind]
+		if m == nil {
+			m = make(map[anycast.ProviderID]*resolver.Breaker)
+			breakers[kind] = m
+		}
+		b := m[pid]
+		if b == nil {
+			b = resolver.NewBreaker(*cfg.Breaker)
+			m[pid] = b
+		}
+		return b
+	}
 
 	wants := make(map[resolver.Kind]bool, len(cfg.Transports))
 	for _, k := range cfg.Transports {
@@ -490,6 +735,8 @@ func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]
 		ts.LossEvents += losses.delta()
 		if discarded {
 			ts.Discards++
+		} else {
+			ts.Successes++
 		}
 		if blocked {
 			ts.Blocked++
@@ -519,6 +766,9 @@ func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]
 		return fmt.Sprintf("%s-%08x-m.a.com.", code, uuidSeq)
 	}
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, acct, err
+		}
 		node, err := sim.SelectExitNode(code)
 		if err != nil {
 			return nil, acct, err
@@ -543,9 +793,21 @@ func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]
 				var sumDoH, sumDoHR float64
 				var got int
 				var res DoHResult
+				brk := brkFor(resolver.DoH, pid)
 				for run := 0; run < cfg.RunsPerClient; run++ {
+					if brk != nil && !brk.Allow() {
+						skip(resolver.DoH, 1)
+						continue
+					}
 					obs, gt := sim.MeasureDoH(node, pid, nextName())
 					est, err := core.EstimateDoH(obs)
+					if brk != nil {
+						if err != nil {
+							brk.Failure()
+						} else {
+							brk.Success()
+						}
+					}
 					account(resolver.DoH, err != nil, false)
 					if err != nil {
 						acct.implausible++
@@ -602,8 +864,20 @@ func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]
 			for _, pid := range providers {
 				var sumDoT, sumDoTR float64
 				var got, blocked int
+				brk := brkFor(resolver.DoT, pid)
 				for run := 0; run < cfg.RunsPerClient; run++ {
+					if brk != nil && !brk.Allow() {
+						skip(resolver.DoT, 1)
+						continue
+					}
 					obs, gt := sim.MeasureDoT(node, pid, nextName())
+					if brk != nil {
+						if obs.Blocked {
+							brk.Failure()
+						} else {
+							brk.Success()
+						}
+					}
 					account(resolver.DoT, obs.Blocked, obs.Blocked)
 					if obs.Blocked {
 						blocked++
@@ -628,6 +902,22 @@ func measureCountry(cfg Config, code string, providers []anycast.ProviderID) ([]
 			}
 		}
 		out = append(out, rec)
+	}
+	if breakers != nil {
+		acct.breakers = make(map[resolver.Kind]BreakerStats)
+		for kind, m := range breakers {
+			bs := acct.breakers[kind]
+			for _, b := range m {
+				snap := b.Snapshot()
+				bs.Trips += snap.Trips
+				bs.ShortCircuits += snap.ShortCircuits
+				bs.Probes += snap.Probes
+				if snap.State == resolver.BreakerOpen {
+					bs.EndedOpen++
+				}
+			}
+			acct.breakers[kind] = bs
+		}
 	}
 	acct.simStats = sim.Stats()
 	return out, acct, nil

@@ -64,10 +64,18 @@ func publishAccounting(reg *obs.Registry, ds *Dataset, sim proxynet.SimStats) {
 	for kind, ts := range ds.Transports {
 		p := "campaign_" + string(kind) + "_"
 		reg.Gauge(p + "queries").Set(float64(ts.Queries))
+		reg.Gauge(p + "successes").Set(float64(ts.Successes))
 		reg.Gauge(p + "discards").Set(float64(ts.Discards))
 		reg.Gauge(p + "loss_events").Set(float64(ts.LossEvents))
 		reg.Gauge(p + "blocked").Set(float64(ts.Blocked))
 		reg.Gauge(p + "skipped").Set(float64(ts.Skipped))
+	}
+	for kind, bs := range ds.Breakers {
+		p := "resolver_" + string(kind) + "_breaker_"
+		reg.Gauge(p + "trips").Set(float64(bs.Trips))
+		reg.Gauge(p + "short_circuits").Set(float64(bs.ShortCircuits))
+		reg.Gauge(p + "probes").Set(float64(bs.Probes))
+		reg.Gauge(p + "open").Set(float64(bs.EndedOpen))
 	}
 	for code, med := range ds.AtlasDo53Ms {
 		reg.Gauge("campaign_atlas_do53_ms_" + code).Set(med)
@@ -78,6 +86,11 @@ func publishAccounting(reg *obs.Registry, ds *Dataset, sim proxynet.SimStats) {
 	reg.Gauge("campaign_sim_doh_measurements").Set(float64(sim.DoHMeasurements))
 	reg.Gauge("campaign_sim_do53_measurements").Set(float64(sim.Do53Measurements))
 	reg.Gauge("campaign_sim_dot_measurements").Set(float64(sim.DoTMeasurements))
+	if sim.ChaosResets+sim.ChaosChurns+sim.ChaosHeaderCorruptions > 0 {
+		reg.Gauge("campaign_sim_chaos_resets").Set(float64(sim.ChaosResets))
+		reg.Gauge("campaign_sim_chaos_churns").Set(float64(sim.ChaosChurns))
+		reg.Gauge("campaign_sim_chaos_header_corruptions").Set(float64(sim.ChaosHeaderCorruptions))
+	}
 }
 
 // addSimStats sums two simulator snapshots.
@@ -88,5 +101,8 @@ func addSimStats(a, b proxynet.SimStats) proxynet.SimStats {
 	a.DoHMeasurements += b.DoHMeasurements
 	a.Do53Measurements += b.Do53Measurements
 	a.DoTMeasurements += b.DoTMeasurements
+	a.ChaosResets += b.ChaosResets
+	a.ChaosChurns += b.ChaosChurns
+	a.ChaosHeaderCorruptions += b.ChaosHeaderCorruptions
 	return a
 }

@@ -83,6 +83,12 @@ func EstimateDo53(obs proxynet.Do53Observation) (time.Duration, error) {
 	if obs.ViaSuperProxy {
 		return 0, ErrSuperProxyResolution
 	}
+	// A resolution is never free: a zero or negative header value means
+	// the header was missing or mangled, not that the lookup was
+	// instant. Same §3.5 treatment as an inconsistent DoH observation.
+	if obs.Tun.DNS <= 0 {
+		return 0, fmt.Errorf("%w: header DNS value %v", ErrImplausible, obs.Tun.DNS)
+	}
 	return obs.Tun.DNS, nil
 }
 

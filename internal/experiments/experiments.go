@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,8 +56,16 @@ type Suite struct {
 
 // NewSuite runs the campaign and prepares the analysis.
 func NewSuite(cfg campaign.Config, minClients int) (*Suite, error) {
-	ds, err := campaign.Run(cfg)
-	if err != nil {
+	return NewSuiteContext(context.Background(), cfg, minClients)
+}
+
+// NewSuiteContext is NewSuite with cancellation. When ctx is canceled
+// mid-campaign the partially-measured dataset is still wrapped in a
+// Suite and returned alongside the context error, so the caller can
+// flush what was collected before exiting.
+func NewSuiteContext(ctx context.Context, cfg campaign.Config, minClients int) (*Suite, error) {
+	ds, err := campaign.RunContext(ctx, cfg)
+	if ds == nil {
 		return nil, err
 	}
 	return &Suite{
@@ -64,7 +73,7 @@ func NewSuite(cfg campaign.Config, minClients int) (*Suite, error) {
 		Dataset:    ds,
 		Analysis:   analysis.New(ds, minClients),
 		MinClients: minClients,
-	}, nil
+	}, err
 }
 
 // Table1 reproduces the ground-truth DoH/DoHR validation: planted

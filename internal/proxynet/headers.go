@@ -15,6 +15,7 @@ package proxynet
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -104,6 +105,12 @@ func encodeMs(d time.Duration) string {
 	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
 }
 
+// maxHeaderMs caps a single header timing value at one hour. The
+// headers report per-request timings; anything beyond this is garbage
+// from a corrupted or hostile proxy, and values large enough would
+// overflow time.Duration arithmetic downstream.
+const maxHeaderMs = 3_600_000
+
 func parseKV(s string) (map[string]time.Duration, error) {
 	out := make(map[string]time.Duration)
 	for _, part := range strings.Split(s, ",") {
@@ -119,8 +126,14 @@ func parseKV(s string) (map[string]time.Duration, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad value in %q: %v", part, err)
 		}
+		if math.IsNaN(ms) || math.IsInf(ms, 0) {
+			return nil, fmt.Errorf("non-finite value in %q", part)
+		}
 		if ms < 0 {
 			return nil, fmt.Errorf("negative value in %q", part)
+		}
+		if ms > maxHeaderMs {
+			return nil, fmt.Errorf("implausibly large value in %q", part)
 		}
 		out[strings.ToLower(strings.TrimSpace(k))] = time.Duration(ms * float64(time.Millisecond))
 	}

@@ -1,0 +1,103 @@
+package proxynet
+
+import (
+	"testing"
+	"time"
+)
+
+// The X-Luminati-* headers cross a trust boundary: in real mode they
+// arrive from an external proxy over the network. The fuzz targets pin
+// the parser's contract — on any input it either returns an error or a
+// value whose fields are non-negative, bounded, and stable under an
+// encode/re-parse round trip. The committed seed corpus in
+// testdata/fuzz covers the historic weak spots: NaN/Inf slipping past
+// the negative-value check and values large enough to overflow
+// time.Duration arithmetic downstream.
+
+// durationsClose absorbs the sub-microsecond rounding of the
+// millisecond wire format (three decimal places).
+func durationsClose(a, b time.Duration) bool {
+	d := a - b
+	return d >= -time.Microsecond && d <= time.Microsecond
+}
+
+func checkBounded(t *testing.T, name string, d time.Duration) {
+	t.Helper()
+	if d < 0 {
+		t.Fatalf("%s = %v, negative value escaped the parser", name, d)
+	}
+	if d > maxHeaderMs*time.Millisecond {
+		t.Fatalf("%s = %v, exceeds the %dms cap", name, d, int(maxHeaderMs))
+	}
+}
+
+func FuzzParseTunTimeline(f *testing.F) {
+	for _, s := range []string{
+		"dns:23.000,connect:41.000",
+		"dns:0.001,connect:0.001",
+		"dns:NaN,connect:1",
+		"dns:+Inf,connect:2",
+		"dns:1e309,connect:2",
+		"dns:-5,connect:2",
+		"dns:99999999999999,connect:1",
+		"dns:0x1p10,connect:1",
+		"DNS:1.5,CONNECT:2.5",
+		"dns:1,connect:2,extra:3",
+		"garbage",
+		"",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tl, err := ParseTunTimeline(s)
+		if err != nil {
+			return
+		}
+		checkBounded(t, "DNS", tl.DNS)
+		checkBounded(t, "Connect", tl.Connect)
+		again, err := ParseTunTimeline(tl.Encode())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", tl.Encode(), s, err)
+		}
+		if !durationsClose(again.DNS, tl.DNS) || !durationsClose(again.Connect, tl.Connect) {
+			t.Fatalf("round trip drifted: %+v -> %+v", tl, again)
+		}
+	})
+}
+
+func FuzzParseProxyTimeline(f *testing.F) {
+	for _, s := range []string{
+		"auth:2.000,init:1.000,select:4.000,validate:0.500",
+		"auth:0.000,init:0.000,select:0.000,validate:0.000",
+		"auth:NaN,init:1,select:1,validate:1",
+		"auth:-Inf,init:1,select:1,validate:1",
+		"auth:1e400,init:1,select:1,validate:1",
+		"auth:3600001,init:1,select:1,validate:1",
+		"select:9",
+		"auth:1:2,init:3",
+		"",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tl, err := ParseProxyTimeline(s)
+		if err != nil {
+			return
+		}
+		checkBounded(t, "Auth", tl.Auth)
+		checkBounded(t, "Init", tl.Init)
+		checkBounded(t, "SelectExit", tl.SelectExit)
+		checkBounded(t, "Validate", tl.Validate)
+		if tl.Total() < 0 {
+			t.Fatalf("Total() = %v negative for %q", tl.Total(), s)
+		}
+		again, err := ParseProxyTimeline(tl.Encode())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", tl.Encode(), s, err)
+		}
+		if !durationsClose(again.Auth, tl.Auth) || !durationsClose(again.Init, tl.Init) ||
+			!durationsClose(again.SelectExit, tl.SelectExit) || !durationsClose(again.Validate, tl.Validate) {
+			t.Fatalf("round trip drifted: %+v -> %+v", tl, again)
+		}
+	})
+}

@@ -53,6 +53,10 @@ type simInstruments struct {
 	measDo53   *obs.Counter
 	measDoT    *obs.Counter
 
+	chaosResets   *obs.Counter
+	chaosChurns   *obs.Counter
+	chaosCorrupts *obs.Counter
+
 	dohTotal, dohReused                      *obs.Histogram
 	dohDNS, dohConnect, dohTLS, dohRoundTrip *obs.Histogram
 	do53Total                                *obs.Histogram
@@ -78,6 +82,10 @@ func (s *Sim) Instrument(reg *obs.Registry, tracer *obs.TraceRecorder) {
 		measDoH:    reg.Counter("proxynet_doh_measurements_total"),
 		measDo53:   reg.Counter("proxynet_do53_measurements_total"),
 		measDoT:    reg.Counter("proxynet_dot_measurements_total"),
+
+		chaosResets:   reg.Counter("proxynet_chaos_resets_total"),
+		chaosChurns:   reg.Counter("proxynet_chaos_churns_total"),
+		chaosCorrupts: reg.Counter("proxynet_chaos_header_corruptions_total"),
 
 		dohTotal:     reg.Histogram("proxynet_doh_ms", nil),
 		dohReused:    reg.Histogram("proxynet_dohr_ms", nil),
@@ -156,4 +164,19 @@ func (in *simInstruments) recordDoTBlocked() {
 	}
 	in.measDoT.Inc()
 	in.dotBlocked.Inc()
+}
+
+// recordChaos counts an injected failure by mode.
+func (in *simInstruments) recordChaos(ev chaosEvent) {
+	if in == nil {
+		return
+	}
+	switch ev {
+	case chaosReset:
+		in.chaosResets.Inc()
+	case chaosChurn:
+		in.chaosChurns.Inc()
+	case chaosCorrupt:
+		in.chaosCorrupts.Inc()
+	}
 }

@@ -39,6 +39,16 @@ type RealProxy struct {
 	// Obs, when set before ListenAndServe, receives tunnel counters
 	// and exit-side timing histograms under superproxy_* names.
 	Obs *obs.Registry
+	// HandshakeTimeout bounds the whole CONNECT handshake — reading
+	// the request, resolving and dialing the target, writing the
+	// response — so a stalled or byte-dribbling client cannot pin a
+	// connection (and its goroutine) open indefinitely. Zero means 30s.
+	HandshakeTimeout time.Duration
+	// MaxHeaderBytes caps how much of the CONNECT request the proxy
+	// will buffer before giving up with 431; a hostile peer can
+	// otherwise stream an unbounded header section into our memory.
+	// Zero means 16 KiB.
+	MaxHeaderBytes int
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -117,10 +127,26 @@ func (p *RealProxy) serve() {
 
 func (p *RealProxy) handle(conn net.Conn) {
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(30 * time.Second))
-	br := bufio.NewReader(conn)
+	hs := p.HandshakeTimeout
+	if hs <= 0 {
+		hs = 30 * time.Second
+	}
+	conn.SetDeadline(time.Now().Add(hs))
+	maxHdr := p.MaxHeaderBytes
+	if maxHdr <= 0 {
+		maxHdr = 16 << 10
+	}
+	// The limit applies only to the handshake: the splice below reads
+	// from conn directly, so tunnel payload is unmetered.
+	lr := &io.LimitedReader{R: conn, N: int64(maxHdr)}
+	br := bufio.NewReader(lr)
 	req, err := http.ReadRequest(br)
 	if err != nil {
+		if lr.N <= 0 {
+			// The request hit the header cap, not a genuine EOF.
+			io.WriteString(conn, "HTTP/1.1 431 Request Header Fields Too Large\r\nContent-Length: 0\r\n\r\n")
+			p.instr.reject()
+		}
 		return
 	}
 	if req.Method != http.MethodConnect {

@@ -1,0 +1,121 @@
+package proxynet
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// A client that connects and never finishes its CONNECT request must
+// not pin the handler goroutine: the handshake deadline reaps it.
+func TestRealProxyStalledHandshakeReaped(t *testing.T) {
+	p := &RealProxy{HandshakeTimeout: 150 * time.Millisecond}
+	if err := p.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Dribble a partial request line, then stall forever.
+	if _, err := conn.Write([]byte("CONNECT 127.0")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("stalled handshake received a response byte")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("stalled connection reaped after %v, want ~HandshakeTimeout", elapsed)
+	}
+}
+
+// A CONNECT request whose header section exceeds MaxHeaderBytes is cut
+// off with 431 instead of being buffered without bound.
+func TestRealProxyHeaderCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := &RealProxy{Obs: reg, MaxHeaderBytes: 1024, HandshakeTimeout: 5 * time.Second}
+	if err := p.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	conn.Write([]byte("CONNECT 127.0.0.1:9 HTTP/1.1\r\nHost: 127.0.0.1:9\r\n"))
+	filler := "X-Filler: " + strings.Repeat("a", 120) + "\r\n"
+	for i := 0; i < 40; i++ { // ~5 KiB of headers against a 1 KiB cap
+		if _, err := conn.Write([]byte(filler)); err != nil {
+			break // server may already have shut the connection
+		}
+	}
+	buf := make([]byte, 256)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("no response to oversized header: %v", err)
+	}
+	if got := string(buf[:n]); !strings.Contains(got, "431") {
+		t.Errorf("response = %q, want 431", got)
+	}
+	if got := reg.Counter("superproxy_rejects_total").Value(); got != 1 {
+		t.Errorf("rejects_total = %d, want 1", got)
+	}
+}
+
+// A well-formed request under the cap still works with the hardening
+// knobs set (the limit must only meter the handshake, not the tunnel).
+func TestRealProxyHardenedStillTunnels(t *testing.T) {
+	echo, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer echo.Close()
+	go func() {
+		for {
+			c, err := echo.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 64)
+				n, _ := c.Read(buf)
+				c.Write(buf[:n])
+			}(c)
+		}
+	}()
+
+	p := &RealProxy{HandshakeTimeout: 5 * time.Second, MaxHeaderBytes: 1024}
+	if err := p.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	conn, _, _, _, err := DialViaProxy(ctx, p.Addr(), echo.Addr().String())
+	if err != nil {
+		t.Fatalf("DialViaProxy: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("tunnel echo = %q, %v", buf, err)
+	}
+}

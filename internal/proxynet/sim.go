@@ -46,6 +46,8 @@ type Sim struct {
 	lossPtr *int64
 	// instr holds the observability handles; nil until Instrument.
 	instr *simInstruments
+	// chaos holds the armed failure injector; nil until EnableChaos.
+	chaos *chaosState
 }
 
 // simCounters holds the event counters behind Stats. All fields are
@@ -59,6 +61,9 @@ type simCounters struct {
 	dohMeasurements int64
 	do53Measure     int64
 	dotMeasure      int64
+	chaosResets     int64
+	chaosChurns     int64
+	chaosCorrupts   int64
 }
 
 // SimStats is a snapshot of the simulator's event counters — the
@@ -78,17 +83,25 @@ type SimStats struct {
 	DoHMeasurements  int64
 	Do53Measurements int64
 	DoTMeasurements  int64
+	// ChaosResets, ChaosChurns, and ChaosHeaderCorruptions count
+	// injected failures by mode (zero unless EnableChaos armed them).
+	ChaosResets            int64
+	ChaosChurns            int64
+	ChaosHeaderCorruptions int64
 }
 
 // Stats returns a snapshot of the simulator's event counters.
 func (s *Sim) Stats() SimStats {
 	return SimStats{
-		LossEvents:       atomic.LoadInt64(s.lossPtr),
-		DoTBlocked:       atomic.LoadInt64(&s.stats.dotBlocked),
-		ExitNodes:        atomic.LoadInt64(&s.stats.exitNodes),
-		DoHMeasurements:  atomic.LoadInt64(&s.stats.dohMeasurements),
-		Do53Measurements: atomic.LoadInt64(&s.stats.do53Measure),
-		DoTMeasurements:  atomic.LoadInt64(&s.stats.dotMeasure),
+		LossEvents:             atomic.LoadInt64(s.lossPtr),
+		DoTBlocked:             atomic.LoadInt64(&s.stats.dotBlocked),
+		ExitNodes:              atomic.LoadInt64(&s.stats.exitNodes),
+		DoHMeasurements:        atomic.LoadInt64(&s.stats.dohMeasurements),
+		Do53Measurements:       atomic.LoadInt64(&s.stats.do53Measure),
+		DoTMeasurements:        atomic.LoadInt64(&s.stats.dotMeasure),
+		ChaosResets:            atomic.LoadInt64(&s.stats.chaosResets),
+		ChaosChurns:            atomic.LoadInt64(&s.stats.chaosChurns),
+		ChaosHeaderCorruptions: atomic.LoadInt64(&s.stats.chaosCorrupts),
 	}
 }
 
@@ -418,7 +431,9 @@ func (s *Sim) MeasureDoH(node *ExitNode, pid anycast.ProviderID, queryName strin
 		gt.Steps[17] + gt.Steps[18] + gt.Steps[19] + gt.Steps[20]
 	gt.TDoHR = gt.Steps[17] + gt.Steps[18] + gt.Steps[19] + gt.Steps[20]
 	s.instr.recordDoH(pid, queryName, obs, gt)
-	return obs, gt
+	// Chaos corrupts only what the client gets to see; ground truth
+	// and the instruments above already recorded what really happened.
+	return s.applyChaosDoH(obs), gt
 }
 
 // Do53Observation is the client-visible outcome of a Do53 measurement
@@ -476,7 +491,7 @@ func (s *Sim) MeasureDo53(node *ExitNode, queryName string) (Do53Observation, Do
 		}
 		obs.ViaSuperProxy = true
 		s.instr.recordDo53(true, gt)
-		return obs, gt
+		return s.applyChaosDo53(obs), gt
 	}
 
 	obs.Tun = TunTimeline{
@@ -484,5 +499,5 @@ func (s *Sim) MeasureDo53(node *ExitNode, queryName string) (Do53Observation, Do
 		Connect: s.Model.NewPath(s.Rand, node.Endpoint, s.Lab).RTT(s.Rand),
 	}
 	s.instr.recordDo53(false, gt)
-	return obs, gt
+	return s.applyChaosDo53(obs), gt
 }

@@ -15,8 +15,8 @@ import (
 // the canonical order (innermost first):
 //
 //	transport -> WithFaults -> per-attempt WithTimeout -> WithRetry
-//	          -> WithHedging -> overall WithTimeout -> entry metrics
-//	          -> WithMetrics (registry histograms)
+//	          -> WithHedging -> overall WithTimeout -> WithBreaker
+//	          -> entry metrics -> WithMetrics (registry histograms)
 //
 // so each retry attempt is individually deadline-bounded, the retry
 // loop as a whole respects the overall deadline, injected faults look
@@ -32,6 +32,11 @@ type Policy struct {
 	// HedgeDelay, when positive, fires a speculative second attempt
 	// after this delay (set it near the transport's p95 latency).
 	HedgeDelay time.Duration
+	// Breaker, when non-nil, adds a circuit breaker above the retry
+	// and timeout layers: a run of consecutive end-to-end failures
+	// trips it and later calls short-circuit with ErrBreakerOpen until
+	// a probe succeeds (see breaker.go for the state machine).
+	Breaker *BreakerPolicy
 	// Faults, when non-nil, injects deterministic faults below every
 	// other layer (tests).
 	Faults *FaultConfig
@@ -66,6 +71,13 @@ func Apply(r Resolver, p Policy) Resolver {
 	}
 	if p.OverallTimeout > 0 {
 		r = WithTimeout(r, 0, p.OverallTimeout)
+	}
+	if p.Breaker != nil {
+		b := NewBreaker(*p.Breaker)
+		if p.Registry != nil {
+			b.Instrument(p.Registry, p.Kind)
+		}
+		r = WithBreaker(r, b)
 	}
 	if p.Metrics != nil {
 		r = withEntryMetrics(r, p.Metrics)
