@@ -10,6 +10,7 @@
 //	dohquery -doh https://... -n 5 example.com A       # reuse the connection
 //	dohquery -do53 ... -retries 3 -hedge 50ms example.com
 //	dohquery -doh https://... -n 20 -breaker 5 example.com   # circuit-break a dead endpoint
+//	dohquery -doh https://... -n 10 -cache 1024 example.com  # warm hits from the client cache
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/dnsclient"
 	"repro/internal/dnswire"
 	"repro/internal/dohclient"
@@ -39,8 +41,10 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-query timeout")
 	retries := flag.Int("retries", 0, "max retry attempts on failure (0 disables retry)")
 	hedge := flag.Duration("hedge", 0, "hedging delay: launch a second attempt if no answer after this long (0 disables)")
+	hedgeMax := flag.Int("hedge-max", 2, "max concurrent hedged attempts per query (with -hedge)")
 	attemptTimeout := flag.Duration("attempt-timeout", 0, "per-attempt timeout inside the retry loop (0 disables)")
 	breaker := flag.Int("breaker", 0, "circuit breaker: short-circuit after this many consecutive failures, probing every 30s (0 disables)")
+	cacheSize := flag.Int("cache", 0, "client-side answer cache entries; with -n the same name repeats so later queries hit warm (0 disables)")
 	dumpMetrics := flag.Bool("metrics", false, "dump the metrics registry (text exposition format) to stderr on exit")
 	flag.Parse()
 
@@ -80,7 +84,14 @@ func main() {
 	var kind resolver.Kind
 	switch {
 	case *dohURL != "":
-		opts := &dohclient.Options{InsecureTLS: *insecure, Timeout: *timeout}
+		// Size the idle pool to the hedge fan-out: the default of 4
+		// would discard connections above the cap after a wider hedge
+		// burst, forcing re-dials that inflate t_DoHR.
+		idle := 4
+		if *hedge > 0 && *hedgeMax > idle {
+			idle = *hedgeMax
+		}
+		opts := &dohclient.Options{InsecureTLS: *insecure, Timeout: *timeout, MaxIdleConnsPerHost: idle}
 		c, err := dohclient.New(*dohURL, opts)
 		if err != nil {
 			fatal(err)
@@ -105,6 +116,7 @@ func main() {
 	pol := resolver.Policy{
 		AttemptTimeout: *attemptTimeout,
 		HedgeDelay:     *hedge,
+		HedgeMax:       *hedgeMax,
 		Metrics:        metrics,
 	}
 	if *dumpMetrics {
@@ -117,11 +129,22 @@ func main() {
 	if *breaker > 0 {
 		pol.Breaker = &resolver.BreakerPolicy{FailureThreshold: *breaker}
 	}
+	var answers *cache.Cache
+	if *cacheSize > 0 {
+		answers = cache.New(cache.Config{MaxEntries: *cacheSize})
+		pol.Cache = answers
+		if *dumpMetrics {
+			answers.Instrument(reg, "cache")
+		}
+	}
 	res := resolver.Apply(base, pol)
 
 	for i := 0; i < *n; i++ {
 		qname := name
-		if *n > 1 {
+		// -n normally uniquifies names (the DoHN measurement must defeat
+		// upstream caches); with -cache the point is the opposite — keep
+		// the name stable so queries after the first hit warm.
+		if *n > 1 && answers == nil {
 			qname = dnswire.NewName(fmt.Sprintf("q%d-%s", i, name))
 		}
 		resp, timing, err := res.Resolve(ctx, resolver.Query(qname, qtype))
@@ -137,6 +160,11 @@ func main() {
 	if snap.Retries > 0 || snap.Hedges > 0 || snap.Failures > 0 {
 		fmt.Printf(";; policy: attempts=%d retries=%d hedges=%d failures=%d\n",
 			snap.Attempts, snap.Retries, snap.Hedges, snap.Failures)
+	}
+	if answers != nil {
+		st := answers.Stats()
+		fmt.Printf(";; cache: %d hits (%d negative) / %d misses, %d entries\n",
+			st.Hits, st.NegativeHits, st.Misses, answers.Len())
 	}
 	if *dumpMetrics {
 		resolver.PublishPolicyMetrics(reg, kind, metrics)

@@ -33,10 +33,15 @@ func main() {
 	plain := flag.Bool("plain", false, "serve plain HTTP instead of HTTPS")
 	dotListen := flag.String("dot", "", "also serve DNS-over-TLS on this address (e.g. 127.0.0.1:8853)")
 	metrics := flag.Bool("metrics", true, "expose the /metrics text endpoint")
+	cacheSize := flag.Int("cache", 65536, "answer cache entries")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
-	res := recursive.New(nil)
+	// The resolver runs on the shared sharded cache (internal/cache);
+	// its hit/miss/eviction counters land on /metrics as cache_*_total.
+	answerCache := recursive.NewCache(*cacheSize, nil)
+	answerCache.Unwrap().Instrument(reg, "cache")
+	res := recursive.New(answerCache)
 	// Forwarding runs on the unified resolver API: Do53 transport with
 	// one retry and a per-attempt timeout, so a single dropped UDP
 	// datagram to the authoritative server no longer fails the whole
@@ -72,6 +77,7 @@ func main() {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			reg.Gauge("dohsrv_queries").Set(float64(handler.Queries()))
 			reg.Gauge("dohsrv_scrubbed_ecs").Set(float64(handler.ScrubbedECS()))
+			reg.Gauge("dohsrv_cache_entries").Set(float64(answerCache.Len()))
 			snapshot.ServeHTTP(w, r)
 		})
 	}

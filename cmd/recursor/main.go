@@ -87,7 +87,8 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	hits, misses := res.Cache().Stats()
-	fmt.Printf("recursor: cache %d hits / %d misses, shutting down\n", hits, misses)
+	st := res.Cache().Unwrap().Stats()
+	fmt.Printf("recursor: cache %d hits (%d negative) / %d misses, %d evictions, shutting down\n",
+		st.Hits, st.NegativeHits, st.Misses, st.Evictions)
 	srv.Close()
 }

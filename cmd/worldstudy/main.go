@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/anycast"
+	"repro/internal/cache"
 	"repro/internal/campaign"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
@@ -59,6 +60,7 @@ func main() {
 	metrics := flag.String("metrics", "", "write the campaign metrics snapshot in text exposition format (\"-\" = stderr, else a file path)")
 	resume := flag.String("resume", "", "checkpoint directory: journal each completed country and skip journaled ones on re-run")
 	breaker := flag.Int("breaker", 0, "circuit breaker: per provider×country, trip after this many consecutive failures (0 disables)")
+	cacheGuard := flag.Bool("cache-guard", false, "arm the cache-busting tripwire: assert every measurement name misses a shared answer cache")
 	chaosChurn := flag.Float64("chaos-churn", 0, "probability per measurement that the exit node churns mid-tunnel")
 	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "probability per measurement that the X-Luminati timing headers go missing or garbled")
 	chaosReset := flag.Float64("chaos-reset", 0, "probability per measurement that the Super-Proxy connection resets")
@@ -97,6 +99,14 @@ func main() {
 		// its seed (wall-clock probes would not).
 		cfg.Breaker = &resolver.BreakerPolicy{FailureThreshold: *breaker, ProbeEvery: 2 * *breaker}
 	}
+	var guard *cache.Cache
+	if *cacheGuard {
+		// Every run's unique name is looked up (must miss) and then
+		// marked in this shared cache; any hit means the cache-busting
+		// invariant broke and the run is skipped instead of measured.
+		guard = cache.New(cache.Config{MaxEntries: 1 << 20})
+		cfg.Cache = guard
+	}
 
 	start := time.Now()
 	var suite *experiments.Suite
@@ -131,6 +141,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "worldstudy: %-5s breaker: %d trips, %d short circuits, %d probes, %d ended open\n",
 				kind, bs.Trips, bs.ShortCircuits, bs.Probes, bs.EndedOpen)
 		}
+	}
+	if guard != nil {
+		st := guard.Stats()
+		status := "cache busting held"
+		if st.Hits > 0 {
+			status = "CACHE-BUSTING VIOLATED (reused names skipped)"
+		}
+		fmt.Fprintf(os.Stderr, "worldstudy: cache guard: %d hits / %d lookups, %d names marked — %s\n",
+			st.Hits, st.Hits+st.Misses, guard.Len(), status)
 	}
 	if *metrics != "" {
 		if err := writeMetrics(suite.Dataset, *metrics); err != nil {

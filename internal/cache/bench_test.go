@@ -1,0 +1,77 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// The warm-hit path must stay allocation-free like the obs hot path: a
+// cache that allocates per hit would perturb the warm-path latencies
+// the §5 cache-hit experiments measure (ISSUE 4 acceptance criterion).
+
+func TestWarmHitAllocationFree(t *testing.T) {
+	c, _ := newTestCache(0)
+	name := dnswire.Name("warm.example.")
+	c.Put(name, dnswire.TypeA, answer(name, 300))
+	if n := testing.AllocsPerRun(1000, func() {
+		if c.Get(name, dnswire.TypeA) == nil {
+			t.Fatal("warm entry missed")
+		}
+	}); n != 0 {
+		t.Errorf("warm Get allocates %.1f per op, want 0", n)
+	}
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c, _ := newTestCache(0)
+	name := dnswire.Name("warm.example.")
+	c.Put(name, dnswire.TypeA, answer(name, 300))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c.Get(name, dnswire.TypeA) == nil {
+			b.Fatal("warm entry missed")
+		}
+	}
+}
+
+func BenchmarkCacheHitParallel(b *testing.B) {
+	c, _ := newTestCache(0)
+	names := make([]dnswire.Name, 64)
+	for i := range names {
+		names[i] = dnswire.NewName(string(rune('a'+i%26)) + "p.example.")
+	}
+	for _, n := range names {
+		c.Put(n, dnswire.TypeA, answer(n, 300))
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Get(names[i&63], dnswire.TypeA)
+			i++
+		}
+	})
+}
+
+func BenchmarkCacheMiss(b *testing.B) {
+	c, _ := newTestCache(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Get("absent.example.", dnswire.TypeA)
+	}
+}
+
+func BenchmarkCacheAgedHit(b *testing.B) {
+	c, clk := newTestCache(0)
+	name := dnswire.Name("aged.example.")
+	c.Put(name, dnswire.TypeA, answer(name, 300))
+	clk.Advance(5 * time.Second) // past the share window: every hit copies
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c.Get(name, dnswire.TypeA) == nil {
+			b.Fatal("aged entry missed")
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package cache
+
+import (
+	"context"
+
+	"repro/internal/dnswire"
+)
+
+// flight is one in-progress resolution shared by every concurrent
+// caller asking for the same key.
+type flight struct {
+	done chan struct{}
+	msg  *dnswire.Message
+	err  error
+}
+
+// Do collapses concurrent misses for (name, typ): the first caller
+// runs fn, every concurrent caller blocks until that resolution
+// finishes and shares its result. shared reports whether this caller
+// waited on another's flight (true) or ran fn itself (false). Waiters
+// honour ctx cancellation without cancelling the leader's resolution.
+//
+// Do does not touch the cache's entries: the caller decides whether
+// and how to Put the result (resolver.WithCache inserts only
+// successful, cacheable answers). Sequential calls never share — an
+// error is re-tried by the next caller, matching the
+// errors-are-not-cached contract.
+func (c *Cache) Do(ctx context.Context, name dnswire.Name, typ dnswire.Type, fn func() (*dnswire.Message, error)) (msg *dnswire.Message, shared bool, err error) {
+	k := key{name.Canonical(), typ}
+	c.flightMu.Lock()
+	if f, ok := c.inflight[k]; ok {
+		c.flightMu.Unlock()
+		c.shared.Add(1)
+		if inst := c.inst; inst != nil {
+			inst.shared.Inc()
+		}
+		select {
+		case <-f.done:
+			return f.msg, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[k] = f
+	c.flightMu.Unlock()
+
+	f.msg, f.err = fn()
+	c.flightMu.Lock()
+	delete(c.inflight, k)
+	c.flightMu.Unlock()
+	close(f.done)
+	return f.msg, false, f.err
+}

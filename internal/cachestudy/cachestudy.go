@@ -7,8 +7,9 @@
 // customers only).
 //
 // The study replays a Zipf-popularity workload against both cache
-// architectures, using the production recursive.Cache under a virtual
-// clock, and reports hit ratios and effective resolution latencies.
+// architectures, driving the production sharded cache (internal/cache)
+// under a virtual clock, and reports hit ratios and effective
+// resolution latencies.
 package cachestudy
 
 import (
@@ -19,10 +20,10 @@ import (
 	"time"
 
 	"repro/internal/anycast"
+	"repro/internal/cache"
 	"repro/internal/dnswire"
 	"repro/internal/geo"
 	"repro/internal/netsim"
-	"repro/internal/recursive"
 	"repro/internal/world"
 )
 
@@ -187,10 +188,10 @@ func Run(cfg Config) ([]Result, error) {
 		var now time.Duration
 		clock := func() time.Time { return time.Unix(0, 0).Add(now) }
 
-		caches := map[string]*recursive.Cache{}
-		cacheFor := func(key string) *recursive.Cache {
+		caches := map[string]*cache.Cache{}
+		cacheFor := func(key string) *cache.Cache {
 			if c, ok := caches[key]; !ok {
-				c = recursive.NewCache(1<<16, clock)
+				c = cache.New(cache.Config{MaxEntries: 1 << 16, Clock: clock})
 				caches[key] = c
 				return c
 			} else {
@@ -216,13 +217,13 @@ func Run(cfg Config) ([]Result, error) {
 				frontEP = cl.resolverEP
 				missExtra = cl.overhead
 			}
-			cache := cacheFor(cacheKey)
+			store := cacheFor(cacheKey)
 			lat := model.RTT(runRng, cl.endpoint, frontEP)
-			if cache.Get(name, dnswire.TypeA) != nil {
+			if store.Get(name, dnswire.TypeA) != nil {
 				hits++
 			} else {
 				lat += missExtra + model.RTT(runRng, frontEP, auth)
-				cache.Put(name, dnswire.TypeA, answer(name))
+				store.Put(name, dnswire.TypeA, answer(name))
 			}
 			latencies = append(latencies, float64(lat)/float64(time.Millisecond))
 		}

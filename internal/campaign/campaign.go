@@ -14,14 +14,17 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"net/netip"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/anycast"
 	"repro/internal/atlas"
+	"repro/internal/cache"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/dnswire"
 	"repro/internal/geo"
 	"repro/internal/geoip"
 	"repro/internal/obs"
@@ -82,6 +85,19 @@ type Config struct {
 	// count-based ProbeEvery schedule: wall-clock probing would make
 	// the dataset depend on host timing.
 	Breaker *resolver.BreakerPolicy
+	// Cache, when non-nil, arms the cache-busting tripwire: before
+	// each measurement run the campaign looks its unique query name up
+	// in this shared answer cache, and after issuing the run it stores
+	// a marker answer under that name. Because every run draws a fresh
+	// name, a correct campaign records zero hits and the dataset (and
+	// its CSV export) stays byte-identical to an unguarded run; a hit
+	// means a name was reused — the §4 cache-busting invariant broke —
+	// and that run is skipped (counted in TransportStats.Skipped)
+	// instead of polluting the data with a warm-cache timing. Guard
+	// totals surface as campaign_cache_guard_* gauges in Dataset.Obs.
+	// Like Obs, the field is a reporting/tripwire knob with no effect
+	// on the records, so it stays out of the checkpoint config key.
+	Cache *cache.Cache
 	// CheckpointDir, when set, journals every completed country so an
 	// interrupted campaign can resume without re-measuring. Records
 	// are keyed by a hash of the result-affecting configuration; a
@@ -495,6 +511,10 @@ feed:
 	return ds, nil
 }
 
+// markerAddr is the answer the cache-busting tripwire stores under
+// each consumed name (TEST-NET-1, never a real measurement target).
+var markerAddr = netip.MustParseAddr("192.0.2.1")
+
 // finishObs assembles the observability view from the finished (or
 // partially finished) dataset; the snapshot is a pure function of the
 // records and accounting, so it inherits their schedule independence.
@@ -505,6 +525,17 @@ func finishObs(cfg Config, ds *Dataset, simTotal proxynet.SimStats) {
 	}
 	observeClients(reg, ds.Clients)
 	publishAccounting(reg, ds, simTotal)
+	if cfg.Cache != nil {
+		// Tripwire totals. Names are unique per run, so guard_hits is
+		// zero on a correct campaign; entries counts the consumed
+		// names and misses the guard lookups, both pure functions of
+		// the workload (the name->shard hash ignores scheduling, so
+		// the totals are Parallel-invariant like everything else).
+		st := cfg.Cache.Stats()
+		reg.Gauge("campaign_cache_guard_hits").Set(float64(st.Hits))
+		reg.Gauge("campaign_cache_guard_misses").Set(float64(st.Misses))
+		reg.Gauge("campaign_cache_guard_entries").Set(float64(cfg.Cache.Len()))
+	}
 	ds.Obs = reg.Snapshot()
 }
 
@@ -765,6 +796,27 @@ func measureCountry(ctx context.Context, cfg Config, code string, providers []an
 		uuidSeq++
 		return fmt.Sprintf("%s-%08x-m.a.com.", code, uuidSeq)
 	}
+	// Cache-busting tripwire (Config.Cache): every run's fresh name
+	// must miss the shared answer cache. A hit proves a name was
+	// reused, so the run is skipped rather than measured warm.
+	guardHit := func(name string) bool {
+		if cfg.Cache == nil {
+			return false
+		}
+		return cfg.Cache.Get(dnswire.NewName(name), dnswire.TypeA) != nil
+	}
+	guardMark := func(name string) {
+		if cfg.Cache == nil {
+			return
+		}
+		qname := dnswire.NewName(name)
+		m := dnswire.NewQuery(1, qname, dnswire.TypeA).Reply()
+		m.Answers = append(m.Answers, dnswire.ResourceRecord{
+			Name: qname, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 300,
+			Data: dnswire.ARecord{Addr: markerAddr},
+		})
+		cfg.Cache.Put(qname, dnswire.TypeA, m)
+	}
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, acct, err
@@ -799,7 +851,13 @@ func measureCountry(ctx context.Context, cfg Config, code string, providers []an
 						skip(resolver.DoH, 1)
 						continue
 					}
-					obs, gt := sim.MeasureDoH(node, pid, nextName())
+					name := nextName()
+					if guardHit(name) {
+						skip(resolver.DoH, 1)
+						continue
+					}
+					obs, gt := sim.MeasureDoH(node, pid, name)
+					guardMark(name)
 					est, err := core.EstimateDoH(obs)
 					if brk != nil {
 						if err != nil {
@@ -833,7 +891,13 @@ func measureCountry(ctx context.Context, cfg Config, code string, providers []an
 			var sum53 float64
 			var got53 int
 			for run := 0; run < cfg.RunsPerClient; run++ {
-				o, _ := sim.MeasureDo53(node, nextName())
+				name := nextName()
+				if guardHit(name) {
+					skip(resolver.Do53, 1)
+					continue
+				}
+				o, _ := sim.MeasureDo53(node, name)
+				guardMark(name)
 				v, err := core.EstimateDo53(o)
 				account(resolver.Do53, err != nil, false)
 				if err != nil {
@@ -870,7 +934,13 @@ func measureCountry(ctx context.Context, cfg Config, code string, providers []an
 						skip(resolver.DoT, 1)
 						continue
 					}
-					obs, gt := sim.MeasureDoT(node, pid, nextName())
+					name := nextName()
+					if guardHit(name) {
+						skip(resolver.DoT, 1)
+						continue
+					}
+					obs, gt := sim.MeasureDoT(node, pid, name)
+					guardMark(name)
 					if brk != nil {
 						if obs.Blocked {
 							brk.Failure()

@@ -98,6 +98,10 @@ func (m *ProxyMeasurer) MeasureDoH(ctx context.Context, dohURL string, name dnsw
 	if err != nil {
 		return obs, nil, fmt.Errorf("core: reading DoH response: %w", err)
 	}
+	// Reuse audit: this exchange deliberately sends Connection: close on
+	// a single-use tunnel conn (each cold measurement must pay the full
+	// handshake), so there is no pooled connection to preserve; ReadAll
+	// drains the body regardless.
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	obs.TD = obs.TC + time.Since(tcStart)
@@ -165,6 +169,8 @@ func (m *ProxyMeasurer) MeasureDo53(ctx context.Context, name dnswire.Name, port
 	if err != nil {
 		return obs, fmt.Errorf("core: web fetch: %w", err)
 	}
+	// Reuse audit: Connection: close on a one-shot conn, drained before
+	// close anyway so the response is fully consumed off the tunnel.
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 	if resp.StatusCode != http.StatusOK {

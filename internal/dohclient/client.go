@@ -92,6 +92,13 @@ type Options struct {
 	InsecureTLS bool
 	// Timeout bounds each exchange at the HTTP layer (default 30s).
 	Timeout time.Duration
+	// MaxIdleConnsPerHost caps the idle connections the transport keeps
+	// per host (default 4). Under hedging, size it to at least the
+	// fan-out (max(4, Policy.HedgeMax)): an HTTP/1.1 pool discards idle
+	// connections above the cap after each exchange, so a smaller cap
+	// silently re-pays the handshake and inflates t_DoHR. Ignored when
+	// HTTPClient is set.
+	MaxIdleConnsPerHost int
 }
 
 // New creates a client for a DoH endpoint URL such as
@@ -111,6 +118,10 @@ func New(serverURL string, opts *Options) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
+	idle := opts.MaxIdleConnsPerHost
+	if idle <= 0 {
+		idle = 4
+	}
 	c := &Client{serverURL: u, usePOST: opts.POST}
 	switch {
 	case opts.HTTPClient != nil:
@@ -119,13 +130,13 @@ func New(serverURL string, opts *Options) (*Client, error) {
 		c.hc = &http.Client{
 			Transport: &http.Transport{
 				TLSClientConfig:     &tls.Config{InsecureSkipVerify: true},
-				MaxIdleConnsPerHost: 4,
+				MaxIdleConnsPerHost: idle,
 			},
 			Timeout: timeout,
 		}
 	default:
 		c.hc = &http.Client{
-			Transport: &http.Transport{MaxIdleConnsPerHost: 4},
+			Transport: &http.Transport{MaxIdleConnsPerHost: idle},
 			Timeout:   timeout,
 		}
 	}
@@ -231,7 +242,7 @@ func (c *Client) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mes
 		c.count(func(s *Stats) { s.HTTPErrors++ })
 		return nil, timing, fmt.Errorf("dohclient: %w", err)
 	}
-	defer resp.Body.Close()
+	defer drainAndClose(resp.Body)
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	timing.Total = time.Since(start)
 	timing.RoundTrip = timing.Total - timing.DNSLookup - timing.Connect - timing.TLSHandshake
@@ -342,7 +353,7 @@ func (c *Client) QueryJSON(ctx context.Context, jsonURL string, name dnswire.Nam
 		c.count(func(s *Stats) { s.HTTPErrors++ })
 		return nil, fmt.Errorf("dohclient: %w", err)
 	}
-	defer resp.Body.Close()
+	defer drainAndClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		c.count(func(s *Stats) { s.HTTPErrors++ })
 		return nil, fmt.Errorf("dohclient: JSON API returned %s", resp.Status)
@@ -354,4 +365,18 @@ func (c *Client) QueryJSON(ctx context.Context, jsonURL string, name dnswire.Nam
 	}
 	c.count(func(s *Stats) { s.Exchanges++ })
 	return &body, nil
+}
+
+// drainAndClose discards any unread remainder of body before closing
+// it. json.Decoder.Decode stops at the end of the JSON value and can
+// leave trailing bytes (the server's newline) and — on responses
+// without a Content-Length, where EOF only arrives with the terminal
+// chunk — the end-of-body marker unread; closing with unread data
+// makes http.Transport kill the connection instead of returning it to
+// the idle pool, so every JSON query would pay a fresh handshake. The
+// drain is bounded: a well-behaved remainder is a few bytes, and
+// anything larger is not worth reading just to save a dial.
+func drainAndClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
 }

@@ -2,10 +2,14 @@ package dohclient
 
 import (
 	"context"
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -352,4 +356,143 @@ func TestNewLegacyDelegatesToNew(t *testing.T) {
 	if len(resp.Answers) != 1 {
 		t.Fatalf("answers = %v", resp.Answers)
 	}
+}
+
+// newCountingStack is newStack plus a server-side count of accepted
+// TCP connections, the ground truth for reuse assertions. wrap, when
+// non-nil, decorates the handler (barriers, streaming) and is
+// installed before the server starts.
+func newCountingStack(t *testing.T, wrap func(http.Handler) http.Handler) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	r := recursive.New(nil)
+	r.SetDefault(recursive.UpstreamFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		m := q.Reply()
+		m.Answers = append(m.Answers, dnswire.ResourceRecord{
+			Name: q.Questions[0].Name, Type: dnswire.TypeA,
+			Class: dnswire.ClassIN, TTL: 60,
+			Data: dnswire.ARecord{Addr: netip.MustParseAddr("203.0.113.2")},
+		})
+		return m, nil
+	}))
+	var h http.Handler = dohserver.NewHandler(r).Mux()
+	if wrap != nil {
+		h = wrap(h)
+	}
+	srv := httptest.NewUnstartedServer(h)
+	var conns atomic.Int32
+	srv.Config.ConnState = func(_ net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+	return srv, &conns
+}
+
+// flushingWriter flushes after every write, forcing chunked framing
+// with no Content-Length — how streaming JSON DoH endpoints respond.
+// EOF then only arrives with the terminal chunk, which a decoder that
+// stops at the end of the JSON value never reads.
+type flushingWriter struct{ http.ResponseWriter }
+
+func (f flushingWriter) Write(b []byte) (int, error) {
+	n, err := f.ResponseWriter.Write(b)
+	f.ResponseWriter.(http.Flusher).Flush()
+	return n, err
+}
+
+// TestQueryJSONConnectionReuse mirrors TestConnectionReuseDetected for
+// the JSON path. json.Decoder.Decode stops at the end of the JSON
+// value, leaving the trailing newline and the end-of-body chunk marker
+// unread; when those bytes have not yet arrived at Close time — here
+// the server delays the terminal chunk, as any real network does —
+// closing without draining makes the transport kill the connection and
+// every query dials anew. The drain blocks the few extra milliseconds
+// for EOF and keeps the connection pooled.
+func TestQueryJSONConnectionReuse(t *testing.T) {
+	srv, conns := newCountingStack(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			next.ServeHTTP(flushingWriter{w}, r)
+			// Delay the terminal chunk so the body's EOF is still in
+			// flight when a non-draining client calls Close.
+			time.Sleep(30 * time.Millisecond)
+		})
+	})
+	c, err := New(srv.URL+dohserver.DefaultPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		body, err := c.QueryJSON(context.Background(), srv.URL+dohserver.JSONPath, "jr.a.com.", dnswire.TypeA)
+		if err != nil {
+			t.Fatalf("QueryJSON %d: %v", i, err)
+		}
+		if len(body.Answer) != 1 {
+			t.Fatalf("QueryJSON %d: body = %+v", i, body)
+		}
+	}
+	if got := conns.Load(); got != 1 {
+		t.Errorf("3 JSON queries used %d connections, want 1 (body not drained before close?)", got)
+	}
+}
+
+// TestMaxIdleConnsPerHostCoversHedgeFanOut pins the pool-sizing fix: a
+// hedge fan-out above the idle cap discards connections after every
+// exchange, so the next wave re-dials and t_DoHR silently includes
+// fresh handshakes. A barrier handler forces each wave of queries to
+// hold fanOut simultaneous connections.
+func TestMaxIdleConnsPerHostCoversHedgeFanOut(t *testing.T) {
+	const fanOut = 6
+	run := func(t *testing.T, opts *Options) int32 {
+		arrive := make(chan struct{})
+		release := make(chan struct{})
+		srv, conns := newCountingStack(t, func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				arrive <- struct{}{}
+				<-release
+				next.ServeHTTP(w, r)
+			})
+		})
+		c, err := New(srv.URL+dohserver.DefaultPath, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wave := func(tag string) {
+			var wg sync.WaitGroup
+			for i := 0; i < fanOut; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					name := dnswire.NewName(fmt.Sprintf("%s%d.a.com.", tag, i))
+					if _, _, err := c.Query(context.Background(), name, dnswire.TypeA); err != nil {
+						t.Errorf("query %s%d: %v", tag, i, err)
+					}
+				}(i)
+			}
+			for i := 0; i < fanOut; i++ {
+				<-arrive
+			}
+			for i := 0; i < fanOut; i++ {
+				release <- struct{}{}
+			}
+			wg.Wait()
+		}
+		wave("w1")
+		wave("w2")
+		return conns.Load()
+	}
+	t.Run("pool sized to fan-out", func(t *testing.T) {
+		if got := run(t, &Options{MaxIdleConnsPerHost: fanOut}); got != fanOut {
+			t.Errorf("two waves used %d connections, want %d (second wave must reuse all)", got, fanOut)
+		}
+	})
+	t.Run("default pool discards above cap", func(t *testing.T) {
+		// Documents the failure mode the fix exists for: with the
+		// default cap of 4, the two extra wave-1 connections are
+		// discarded and wave 2 dials again.
+		if got := run(t, nil); got <= fanOut {
+			t.Errorf("two waves used %d connections; expected re-dials above %d with the default cap", got, fanOut)
+		}
+	})
 }

@@ -7,38 +7,19 @@
 package recursive
 
 import (
-	"container/list"
-	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/dnswire"
 )
 
-// cacheKey identifies a cached RRset.
-type cacheKey struct {
-	name dnswire.Name
-	typ  dnswire.Type
-}
-
-// cacheEntry stores a positive or negative answer until expiry.
-type cacheEntry struct {
-	key      cacheKey
-	msg      *dnswire.Message
-	expires  time.Time
-	inserted time.Time
-	elem     *list.Element
-}
-
-// Cache is a TTL-bounded LRU message cache with negative caching
-// (RFC 2308: NXDOMAIN/NoData cached for the SOA minimum).
+// Cache is the resolver's TTL-bounded LRU message cache with RFC 2308
+// negative caching. It is a thin veneer over internal/cache — the
+// sharded cache every layer of the stack now shares — kept so existing
+// callers (cmd/recursor, cmd/dohsrv, the virtual-time cache study)
+// retain the historical constructor and stats shape.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[cacheKey]*cacheEntry
-	lru     *list.List // front = most recent
-	max     int
-	now     func() time.Time
-
-	hits, misses int64
+	c *cache.Cache
 }
 
 // NewCache creates a cache holding at most max entries (0 means 4096).
@@ -48,37 +29,20 @@ func NewCache(max int, now func() time.Time) *Cache {
 	if max <= 0 {
 		max = 4096
 	}
-	if now == nil {
-		now = time.Now
-	}
-	return &Cache{
-		entries: make(map[cacheKey]*cacheEntry),
-		lru:     list.New(),
-		max:     max,
-		now:     now,
-	}
+	return &Cache{c: cache.New(cache.Config{MaxEntries: max, Clock: now})}
 }
 
+// Unwrap exposes the underlying shared cache for instrumentation
+// (cache.Instrument) and for reuse behind resolver.WithCache.
+func (c *Cache) Unwrap() *cache.Cache { return c.c }
+
 // Get returns a cached response for (name, typ) with TTLs aged by the
-// time spent in cache, or nil on miss/expiry.
+// time spent in cache, or nil on miss/expiry. Hits younger than one
+// second return the stored message itself (the allocation-free warm
+// path); treat it as read-only and copy the struct before stamping
+// headers.
 func (c *Cache) Get(name dnswire.Name, typ dnswire.Type) *dnswire.Message {
-	key := cacheKey{name.Canonical(), typ}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
-	if !ok {
-		c.misses++
-		return nil
-	}
-	now := c.now()
-	if !now.Before(e.expires) {
-		c.removeLocked(e)
-		c.misses++
-		return nil
-	}
-	c.lru.MoveToFront(e.elem)
-	c.hits++
-	return ageTTLs(e.msg, now.Sub(e.inserted))
+	return c.c.Get(name, typ)
 }
 
 // Put caches msg as the answer for (name, typ). The entry lives for
@@ -86,99 +50,15 @@ func (c *Cache) Get(name dnswire.Name, typ dnswire.Type) *dnswire.Message {
 // when the answer section is empty. Messages with no usable TTL are
 // not cached.
 func (c *Cache) Put(name dnswire.Name, typ dnswire.Type, msg *dnswire.Message) {
-	ttl, ok := cacheTTL(msg)
-	if !ok || ttl <= 0 {
-		return
-	}
-	key := cacheKey{name.Canonical(), typ}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if old, ok := c.entries[key]; ok {
-		c.removeLocked(old)
-	}
-	now := c.now()
-	e := &cacheEntry{
-		key: key, msg: msg,
-		inserted: now,
-		expires:  now.Add(time.Duration(ttl) * time.Second),
-	}
-	e.elem = c.lru.PushFront(e)
-	c.entries[key] = e
-	for len(c.entries) > c.max {
-		back := c.lru.Back()
-		if back == nil {
-			break
-		}
-		c.removeLocked(back.Value.(*cacheEntry))
-	}
-}
-
-func (c *Cache) removeLocked(e *cacheEntry) {
-	delete(c.entries, e.key)
-	c.lru.Remove(e.elem)
+	c.c.Put(name, typ, msg)
 }
 
 // Len reports the number of live entries (including not-yet-evicted
 // expired ones).
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
+func (c *Cache) Len() int { return c.c.Len() }
 
 // Stats returns cumulative hit/miss counters.
 func (c *Cache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
-}
-
-// cacheTTL derives the cache lifetime in seconds for a response.
-func cacheTTL(msg *dnswire.Message) (uint32, bool) {
-	if len(msg.Answers) > 0 {
-		min := msg.Answers[0].TTL
-		for _, rr := range msg.Answers[1:] {
-			if rr.TTL < min {
-				min = rr.TTL
-			}
-		}
-		return min, true
-	}
-	// Negative caching: use SOA MINIMUM (capped by SOA TTL).
-	for _, rr := range msg.Authorities {
-		if soa, ok := rr.Data.(dnswire.SOARecord); ok {
-			ttl := soa.Minimum
-			if rr.TTL < ttl {
-				ttl = rr.TTL
-			}
-			return ttl, true
-		}
-	}
-	return 0, false
-}
-
-// ageTTLs returns a copy of msg with TTLs decremented by age.
-func ageTTLs(msg *dnswire.Message, age time.Duration) *dnswire.Message {
-	dec := uint32(age / time.Second)
-	out := *msg
-	out.Answers = ageSection(msg.Answers, dec)
-	out.Authorities = ageSection(msg.Authorities, dec)
-	out.Additionals = ageSection(msg.Additionals, dec)
-	return &out
-}
-
-func ageSection(rrs []dnswire.ResourceRecord, dec uint32) []dnswire.ResourceRecord {
-	if len(rrs) == 0 {
-		return nil
-	}
-	out := make([]dnswire.ResourceRecord, len(rrs))
-	copy(out, rrs)
-	for i := range out {
-		if out[i].TTL > dec {
-			out[i].TTL -= dec
-		} else {
-			out[i].TTL = 0
-		}
-	}
-	return out
+	st := c.c.Stats()
+	return st.Hits, st.Misses
 }

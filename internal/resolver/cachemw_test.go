@@ -1,0 +1,272 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/dnswire"
+	"repro/internal/obs"
+)
+
+// cachedAnswer builds a NOERROR reply to q with one A record.
+func cachedAnswer(q *dnswire.Message, ttl uint32) *dnswire.Message {
+	resp := q.Reply()
+	resp.Answers = append(resp.Answers, dnswire.ResourceRecord{
+		Name: q.Questions[0].Name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: ttl,
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("192.0.2.9")},
+	})
+	return resp
+}
+
+func TestWithCacheHitSkipsTransport(t *testing.T) {
+	var calls atomic.Int32
+	next := Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		calls.Add(1)
+		return cachedAnswer(q, 300), Timing{RoundTrip: time.Millisecond, Total: time.Millisecond, Attempts: 1}, nil
+	})
+	c := cache.New(cache.Config{})
+	r := WithCache(next, c, nil, DoH)
+
+	q1 := Query("hit.example.", dnswire.TypeA)
+	resp, timing, err := r.Resolve(context.Background(), q1)
+	if err != nil || len(resp.Answers) != 1 {
+		t.Fatalf("cold resolve: resp=%v err=%v", resp, err)
+	}
+	if timing.Reused {
+		t.Error("cold resolution reported Reused")
+	}
+
+	q2 := Query("hit.example.", dnswire.TypeA)
+	resp2, timing2, err := r.Resolve(context.Background(), q2)
+	if err != nil {
+		t.Fatalf("warm resolve: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("transport called %d times, want 1 (second resolve must hit cache)", got)
+	}
+	if !timing2.Reused {
+		t.Error("cache hit did not set Timing.Reused")
+	}
+	if resp2.Header.ID != q2.Header.ID {
+		t.Errorf("hit response ID = %d, want caller's %d", resp2.Header.ID, q2.Header.ID)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v", st)
+	}
+}
+
+func TestWithCacheDoesNotCacheErrorsOrServFail(t *testing.T) {
+	var calls atomic.Int32
+	boom := errors.New("boom")
+	next := Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		n := calls.Add(1)
+		if n == 1 {
+			return nil, Timing{Attempts: 1}, boom
+		}
+		resp := q.Reply()
+		resp.Header.RCode = dnswire.RCodeServFail
+		return resp, Timing{Attempts: 1}, nil
+	})
+	c := cache.New(cache.Config{})
+	r := WithCache(next, c, nil, DoH)
+	if _, _, err := r.Resolve(context.Background(), Query("f.example.", dnswire.TypeA)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, _, err := r.Resolve(context.Background(), Query("f.example.", dnswire.TypeA))
+		if err != nil || resp.Header.RCode != dnswire.RCodeServFail {
+			t.Fatalf("resolve %d: resp=%v err=%v", i, resp, err)
+		}
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("transport called %d times, want 3 (errors and SERVFAIL must not be cached)", got)
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache holds %d entries after failures", c.Len())
+	}
+}
+
+func TestWithCacheSingleflightCollapse(t *testing.T) {
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	next := Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		calls.Add(1)
+		<-gate
+		return cachedAnswer(q, 300), Timing{Attempts: 1}, nil
+	})
+	c := cache.New(cache.Config{})
+	r := WithCache(next, c, nil, DoH)
+
+	const n = 6
+	var wg sync.WaitGroup
+	ids := make([]uint16, n)
+	got := make([]*dnswire.Message, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := Query("flock.example.", dnswire.TypeA)
+			ids[i] = q.Header.ID
+			resp, _, err := r.Resolve(context.Background(), q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = resp
+		}(i)
+	}
+	// Wait until every late arrival is parked on the leader's flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().SharedFlights < n-1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("transport called %d times for %d concurrent queries, want 1", got, n)
+	}
+	for i := range got {
+		if got[i] == nil {
+			t.Fatalf("query %d got no response", i)
+		}
+		if got[i].Header.ID != ids[i] {
+			t.Errorf("query %d: response ID %d, want own %d", i, got[i].Header.ID, ids[i])
+		}
+	}
+}
+
+func TestWithCacheBypassesMultiQuestion(t *testing.T) {
+	var calls atomic.Int32
+	next := Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		calls.Add(1)
+		return q.Reply(), Timing{Attempts: 1}, nil
+	})
+	c := cache.New(cache.Config{})
+	r := WithCache(next, c, nil, DoH)
+	q := Query("multi.example.", dnswire.TypeA)
+	q.Questions = append(q.Questions, dnswire.Question{Name: "other.example.", Type: dnswire.TypeAAAA, Class: dnswire.ClassIN})
+	for i := 0; i < 2; i++ {
+		if _, _, err := r.Resolve(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("transport called %d times, want 2 (multi-question queries bypass the cache)", got)
+	}
+	if st := c.Stats(); st.Hits+st.Misses != 0 {
+		t.Errorf("cache touched by bypassed query: %+v", st)
+	}
+}
+
+func TestWithCacheHitHistogram(t *testing.T) {
+	next := Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		return cachedAnswer(q, 300), Timing{Attempts: 1}, nil
+	})
+	reg := obs.NewRegistry()
+	c := cache.New(cache.Config{})
+	r := WithCache(next, c, reg, DoH)
+	for i := 0; i < 3; i++ {
+		if _, _, err := r.Resolve(context.Background(), Query("h.example.", dnswire.TypeA)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	for _, h := range snap.Histograms {
+		if h.Name == "resolver_doh_cache_hit_ms" {
+			if h.Count != 2 {
+				t.Errorf("cache_hit histogram count = %d, want 2", h.Count)
+			}
+			return
+		}
+	}
+	t.Error("resolver_doh_cache_hit_ms histogram not registered")
+}
+
+func TestPolicyCacheOutermost(t *testing.T) {
+	// Through the full Policy stack, a cache hit must not enter the
+	// transport histograms: queries_total stays at the miss count.
+	var calls atomic.Int32
+	next := Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		calls.Add(1)
+		return cachedAnswer(q, 300), Timing{RoundTrip: time.Millisecond, Total: time.Millisecond, Attempts: 1}, nil
+	})
+	reg := obs.NewRegistry()
+	c := cache.New(cache.Config{})
+	r := Apply(next, Policy{
+		Retry:    &RetryPolicy{MaxAttempts: 2},
+		Cache:    c,
+		Registry: reg,
+		Kind:     DoH,
+	})
+	for i := 0; i < 5; i++ {
+		if _, _, err := r.Resolve(context.Background(), Query("outer.example.", dnswire.TypeA)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("transport called %d times, want 1", got)
+	}
+	snap := reg.Snapshot()
+	for _, cv := range snap.Counters {
+		if cv.Name == "resolver_doh_queries_total" && cv.Value != 1 {
+			t.Errorf("queries_total = %d, want 1 (hits must not reach WithMetrics)", cv.Value)
+		}
+	}
+	if st := c.Stats(); st.Hits != 4 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 4 hits / 1 miss", st)
+	}
+}
+
+func TestWithHedgingNFanOut(t *testing.T) {
+	// Three attempts fail fast; the fourth (allowed by max=4) succeeds.
+	var calls atomic.Int32
+	next := Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		if n := calls.Add(1); n < 4 {
+			return nil, Timing{Attempts: 1}, errWire
+		}
+		return q.Reply(), Timing{Attempts: 1}, nil
+	})
+	var m Metrics
+	r := WithHedgingN(next, time.Millisecond, 4, &m)
+	resp, timing, err := r.Resolve(context.Background(), Query("fan.example.", dnswire.TypeA))
+	if err != nil || resp == nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("attempts launched = %d, want 4", got)
+	}
+	if timing.Attempts != 4 {
+		t.Errorf("Timing.Attempts = %d, want 4", timing.Attempts)
+	}
+	if got := m.Hedges.Load(); got != 3 {
+		t.Errorf("hedges = %d, want 3", got)
+	}
+}
+
+func TestWithHedgingNAllFail(t *testing.T) {
+	var calls atomic.Int32
+	first := errors.New("first failure")
+	next := Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		if calls.Add(1) == 1 {
+			return nil, Timing{Attempts: 1}, first
+		}
+		return nil, Timing{Attempts: 1}, errWire
+	})
+	r := WithHedgingN(next, time.Millisecond, 3, nil)
+	_, timing, err := r.Resolve(context.Background(), Query("dead.example.", dnswire.TypeA))
+	if !errors.Is(err, first) {
+		t.Errorf("err = %v, want the first failure", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (fan-out exhausted)", got)
+	}
+	if timing.Attempts != 3 {
+		t.Errorf("Timing.Attempts = %d, want 3", timing.Attempts)
+	}
+}

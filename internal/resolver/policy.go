@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/dnswire"
 	"repro/internal/obs"
 )
@@ -17,11 +18,14 @@ import (
 //	transport -> WithFaults -> per-attempt WithTimeout -> WithRetry
 //	          -> WithHedging -> overall WithTimeout -> WithBreaker
 //	          -> entry metrics -> WithMetrics (registry histograms)
+//	          -> WithCache
 //
 // so each retry attempt is individually deadline-bounded, the retry
 // loop as a whole respects the overall deadline, injected faults look
 // to the policy layers exactly like wire faults, and the registry's
-// histograms see the end-to-end timing including backoff sleeps.
+// histograms see the end-to-end timing including backoff sleeps. The
+// cache sits outermost: a hit never enters the policy stack, and the
+// transport histograms below keep describing real resolutions only.
 type Policy struct {
 	// Retry, when non-nil, adds exponential-backoff retries.
 	Retry *RetryPolicy
@@ -32,6 +36,17 @@ type Policy struct {
 	// HedgeDelay, when positive, fires a speculative second attempt
 	// after this delay (set it near the transport's p95 latency).
 	HedgeDelay time.Duration
+	// HedgeMax caps the total hedged attempts including the first
+	// (default 2, the classic single-hedge pattern). Values above 2
+	// keep launching further attempts at HedgeDelay intervals while
+	// earlier ones are still unanswered. Size the DoH client's idle
+	// pool to at least this fan-out (Options.MaxIdleConnsPerHost) or
+	// the extra connections are discarded after each exchange.
+	HedgeMax int
+	// Cache, when non-nil, adds a WithCache layer outermost so answers
+	// are served from the shared TTL-aware cache (internal/cache) and
+	// concurrent misses collapse into one resolution.
+	Cache *cache.Cache
 	// Breaker, when non-nil, adds a circuit breaker above the retry
 	// and timeout layers: a run of consecutive end-to-end failures
 	// trips it and later calls short-circuit with ErrBreakerOpen until
@@ -67,7 +82,11 @@ func Apply(r Resolver, p Policy) Resolver {
 		r = WithRetry(r, rp)
 	}
 	if p.HedgeDelay > 0 {
-		r = WithHedging(r, p.HedgeDelay, p.Metrics)
+		max := p.HedgeMax
+		if max < 2 {
+			max = 2
+		}
+		r = WithHedgingN(r, p.HedgeDelay, max, p.Metrics)
 	}
 	if p.OverallTimeout > 0 {
 		r = WithTimeout(r, 0, p.OverallTimeout)
@@ -84,6 +103,9 @@ func Apply(r Resolver, p Policy) Resolver {
 	}
 	if p.Registry != nil {
 		r = WithMetrics(r, p.Registry, p.Kind)
+	}
+	if p.Cache != nil {
+		r = WithCache(r, p.Cache, p.Registry, p.Kind)
 	}
 	return r
 }
@@ -322,12 +344,26 @@ func (r *retrier) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Mes
 // whichever attempt succeeds first — the tail-latency hedge pattern.
 // The losing attempt is cancelled. metrics may be nil.
 func WithHedging(next Resolver, delay time.Duration, metrics *Metrics) Resolver {
-	return &hedger{next: next, delay: delay, metrics: metrics}
+	return WithHedgingN(next, delay, 2, metrics)
+}
+
+// WithHedgingN generalizes WithHedging to a fan-out of max total
+// attempts: while no attempt has answered, a further speculative
+// attempt launches every delay (or immediately when one fails
+// outright) until max are in flight. The first success wins and
+// cancels the rest; if every attempt fails, the first failure is
+// returned. max below 2 is treated as 2.
+func WithHedgingN(next Resolver, delay time.Duration, max int, metrics *Metrics) Resolver {
+	if max < 2 {
+		max = 2
+	}
+	return &hedger{next: next, delay: delay, max: max, metrics: metrics}
 }
 
 type hedger struct {
 	next    Resolver
 	delay   time.Duration
+	max     int
 	metrics *Metrics
 }
 
@@ -342,7 +378,7 @@ func (h *hedger) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	results := make(chan hedgeResult, 2)
+	results := make(chan hedgeResult, h.max)
 	launch := func() {
 		go func() {
 			resp, t, err := h.next.Resolve(ctx, q)
@@ -362,6 +398,10 @@ func (h *hedger) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 		if h.metrics != nil {
 			h.metrics.Hedges.Add(1)
 		}
+		if launched < h.max {
+			// More fan-out available: arm the timer for the next hedge.
+			timer.Reset(h.delay)
+		}
 	}
 
 	var attempts int
@@ -379,9 +419,9 @@ func (h *hedger) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 			if firstFail == nil {
 				firstFail = &res
 			}
-			if launched < 2 {
-				// The primary failed outright before the hedge timer:
-				// fire the hedge immediately rather than waiting.
+			if launched < h.max {
+				// An attempt failed outright before the hedge timer:
+				// fire the next hedge immediately rather than waiting.
 				timer.Stop()
 				hedge()
 				continue
@@ -392,7 +432,7 @@ func (h *hedger) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 				return nil, firstFail.t, firstFail.err
 			}
 		case <-timer.C:
-			if launched < 2 {
+			if launched < h.max {
 				hedge()
 			}
 		case <-ctx.Done():
