@@ -127,11 +127,18 @@ func (s *Server) serveUDP() {
 		if err != nil {
 			return // closed
 		}
-		pkt := make([]byte, n)
+		// The reader loop keeps reusing buf, so the handler goroutine
+		// needs its own copy — sourced from the pool so a steady query
+		// stream recycles a handful of packets instead of allocating
+		// one per datagram.
+		pb := dnswire.GetBuffer()
+		pb.Grow(n)
+		pkt := pb.B[:n]
 		copy(pkt, buf[:n])
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer dnswire.PutBuffer(pb)
 			if !s.Limiter.Allow(src) {
 				s.logf("authserver: rate-limited response to %v", src)
 				return
@@ -145,11 +152,14 @@ func (s *Server) serveUDP() {
 				s.logf("authserver: truncate: %v", err)
 				return
 			}
-			wire, err := limited.Pack()
+			out := dnswire.GetBuffer()
+			defer dnswire.PutBuffer(out)
+			wire, err := limited.AppendPack(out.B[:0])
 			if err != nil {
 				s.logf("authserver: pack: %v", err)
 				return
 			}
+			out.B = wire
 			if _, err := s.udp.WriteToUDP(wire, src); err != nil {
 				s.logf("authserver: udp write: %v", err)
 			}
@@ -169,21 +179,33 @@ func (s *Server) serveTCP() {
 			defer s.wg.Done()
 			defer conn.Close()
 			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			rd := dnswire.GetBuffer()
+			defer dnswire.PutBuffer(rd)
+			wr := dnswire.GetBuffer()
+			defer dnswire.PutBuffer(wr)
 			for {
-				raw, err := dnsclient.ReadTCPMessage(conn)
+				raw, err := dnsclient.ReadTCPMessageBuf(conn, rd.B[:0])
 				if err != nil {
 					return
 				}
+				rd.B = raw
 				resp := s.handlePacket(raw, conn.RemoteAddr(), "tcp")
 				if resp == nil {
 					return
 				}
-				wire, err := resp.Pack()
+				frame, err := resp.AppendPack(append(wr.B[:0], 0, 0))
 				if err != nil {
 					s.logf("authserver: pack: %v", err)
 					return
 				}
-				if err := dnsclient.WriteTCPMessage(conn, wire); err != nil {
+				wlen := len(frame) - 2
+				if wlen > 0xffff {
+					s.logf("authserver: response too large for TCP framing: %d", wlen)
+					return
+				}
+				frame[0], frame[1] = byte(wlen>>8), byte(wlen)
+				wr.B = frame
+				if _, err := conn.Write(frame); err != nil {
 					return
 				}
 			}
@@ -194,8 +216,11 @@ func (s *Server) serveTCP() {
 // handlePacket parses a raw query and produces the response message,
 // or nil when the input is unparseable.
 func (s *Server) handlePacket(raw []byte, src net.Addr, proto string) *dnswire.Message {
-	q, err := dnswire.Unpack(raw)
-	if err != nil {
+	// The decode target is pooled: the response only shares immutable
+	// strings and zone-owned records with it, never its slices.
+	q := dnswire.GetMessage()
+	defer dnswire.PutMessage(q)
+	if err := dnswire.UnpackInto(raw, q); err != nil {
 		s.logf("authserver: bad packet from %v: %v", src, err)
 		return nil
 	}

@@ -418,6 +418,11 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch: one name buffer serves every country
+			// this worker measures, so steady-state runs allocate only
+			// the names themselves (which outlive the loop inside the
+			// cache guards and the simulator).
+			scratch := new(nameScratch)
 			for idx := range work {
 				code := countries[idx]
 				if journal != nil {
@@ -434,7 +439,7 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 						continue
 					}
 				}
-				res, acct, merr := measureCountry(ctx, cfg, code, providers)
+				res, acct, merr := measureCountry(ctx, cfg, code, providers, scratch)
 				if merr != nil {
 					errs[idx] = merr
 					continue
@@ -712,11 +717,46 @@ func (lt *lossTracker) delta() int64 {
 	return d
 }
 
+// nameScratch is a worker's reusable buffer for building the per-run
+// unique query names without fmt's reflection path. Only the buffer is
+// shared between countries; the sequence counter stays per-country so
+// the dataset remains a pure function of the configuration.
+type nameScratch struct{ buf []byte }
+
+// format renders fmt.Sprintf("%s-%08x-m.a.com.", code, seq)
+// byte-for-byte, allocating only the returned string.
+func (s *nameScratch) format(code string, seq int) string {
+	b := append(s.buf[:0], code...)
+	b = append(b, '-')
+	b = appendHex08(b, uint64(seq))
+	b = append(b, "-m.a.com."...)
+	s.buf = b
+	return string(b)
+}
+
+// appendHex08 appends v as lowercase hex, zero-padded to at least
+// eight digits — the %08x verb.
+func appendHex08(b []byte, v uint64) []byte {
+	const digits = "0123456789abcdef"
+	w := 8
+	for w < 16 && v>>(4*uint(w)) != 0 {
+		w++
+	}
+	for i := w - 1; i >= 0; i-- {
+		b = append(b, digits[(v>>(4*uint(i)))&0xf])
+	}
+	return b
+}
+
 // measureCountry provisions and measures all of one country's clients
 // on a dedicated simulator. Cancellation is checked between clients:
 // an abandoned country returns the context error and is never
-// journaled, so a resumed campaign re-measures it in full.
-func measureCountry(ctx context.Context, cfg Config, code string, providers []anycast.ProviderID) ([]ClientRecord, countryAccounting, error) {
+// journaled, so a resumed campaign re-measures it in full. scratch
+// holds the calling worker's reusable name buffer (nil allocates one).
+func measureCountry(ctx context.Context, cfg Config, code string, providers []anycast.ProviderID, scratch *nameScratch) ([]ClientRecord, countryAccounting, error) {
+	if scratch == nil {
+		scratch = new(nameScratch)
+	}
 	acct := countryAccounting{transports: make(map[resolver.Kind]TransportStats)}
 	ct, ok := world.ByCode(code)
 	if !ok {
@@ -794,7 +834,7 @@ func measureCountry(ctx context.Context, cfg Config, code string, providers []an
 	uuidSeq := 0
 	nextName := func() string {
 		uuidSeq++
-		return fmt.Sprintf("%s-%08x-m.a.com.", code, uuidSeq)
+		return scratch.format(code, uuidSeq)
 	}
 	// Cache-busting tripwire (Config.Cache): every run's fresh name
 	// must miss the shared answer cache. A hit proves a name was

@@ -1,0 +1,45 @@
+package campaign
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The append-based name formatter must reproduce the fmt.Sprintf
+// output byte-for-byte: the names feed countrySeed-derived simulators
+// and the golden CSVs, so any drift changes the dataset.
+func TestNameScratchMatchesSprintf(t *testing.T) {
+	s := new(nameScratch)
+	codes := []string{"us", "br", "de", "zz"}
+	seqs := []int{1, 2, 15, 16, 255, 4096, 0x0eadbeef, 0x7fffffff}
+	for _, code := range codes {
+		for _, seq := range seqs {
+			want := fmt.Sprintf("%s-%08x-m.a.com.", code, seq)
+			if got := s.format(code, seq); got != want {
+				t.Errorf("format(%q, %d) = %q, want %q", code, seq, got, want)
+			}
+		}
+	}
+	// Values wider than eight hex digits follow %x's natural width.
+	for _, v := range []uint64{0x1_0000_0000, 0xdead_beef_cafe} {
+		want := fmt.Sprintf("%08x", v)
+		if got := string(appendHex08(nil, v)); got != want {
+			t.Errorf("appendHex08(%#x) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// Steady-state name formatting must cost exactly the returned string:
+// the scratch buffer is reused across runs.
+func TestNameScratchAllocs(t *testing.T) {
+	s := new(nameScratch)
+	s.format("us", 1) // warm the buffer
+	seq := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		seq++
+		_ = s.format("us", seq)
+	})
+	if allocs > 1 {
+		t.Fatalf("nameScratch.format allocates %v times per call, want <= 1", allocs)
+	}
+}

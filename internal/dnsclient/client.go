@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"syscall"
 	"time"
 
@@ -55,6 +56,48 @@ func (c *Client) dialer() interface {
 		return c.Dialer
 	}
 	return &net.Dialer{}
+}
+
+// udpIdle pools connected UDP sockets per server address so a steady
+// query stream reuses a handful of sockets instead of paying a dial
+// (socket creation, connect, conn allocations) per exchange. Only the
+// default dialer participates: a custom Dialer's conns may carry
+// per-call state (proxied transports, tests). Stale datagrams left in
+// a reused socket's buffer are discarded by oneUDP's ID and question
+// checks, the same screen RFC 5452 prescribes for port reuse.
+var udpIdle = struct {
+	sync.Mutex
+	m map[string][]net.Conn
+}{m: make(map[string][]net.Conn)}
+
+const (
+	maxIdlePerAddr = 8
+	maxIdleAddrs   = 64
+)
+
+func getIdleUDP(addr string) net.Conn {
+	udpIdle.Lock()
+	defer udpIdle.Unlock()
+	conns := udpIdle.m[addr]
+	if len(conns) == 0 {
+		return nil
+	}
+	conn := conns[len(conns)-1]
+	udpIdle.m[addr] = conns[:len(conns)-1]
+	return conn
+}
+
+func putIdleUDP(addr string, conn net.Conn) {
+	udpIdle.Lock()
+	conns := udpIdle.m[addr]
+	if len(conns) >= maxIdlePerAddr ||
+		(len(conns) == 0 && len(udpIdle.m) >= maxIdleAddrs) {
+		udpIdle.Unlock()
+		conn.Close()
+		return
+	}
+	udpIdle.m[addr] = append(conns, conn)
+	udpIdle.Unlock()
 }
 
 // RandomID returns a cryptographically random query ID.
@@ -134,7 +177,9 @@ func (c *Client) Exchange(ctx context.Context, addr string, q *dnswire.Message) 
 		return nil, time.Since(start), err
 	}
 	if resp.Header.Truncated {
+		udpResp := resp
 		resp, err = c.ExchangeTCP(ctx, addr, q)
+		dnswire.PutMessage(udpResp)
 		if err != nil {
 			return nil, time.Since(start), err
 		}
@@ -143,17 +188,20 @@ func (c *Client) Exchange(ctx context.Context, addr string, q *dnswire.Message) 
 }
 
 func (c *Client) exchangeUDP(ctx context.Context, addr string, q *dnswire.Message) (*dnswire.Message, error) {
-	wire, err := q.Pack()
+	pkt := dnswire.GetBuffer()
+	defer dnswire.PutBuffer(pkt)
+	wire, err := q.AppendPack(pkt.B[:0])
 	if err != nil {
 		return nil, err
 	}
+	pkt.B = wire
 	attempts := c.Retries + 1
 	if attempts < 1 {
 		attempts = 1
 	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
-		resp, err := c.oneUDP(ctx, addr, wire, q.Header.ID)
+		resp, err := c.oneUDP(ctx, addr, wire, q)
 		if err == nil {
 			return resp, nil
 		}
@@ -165,12 +213,28 @@ func (c *Client) exchangeUDP(ctx context.Context, addr string, q *dnswire.Messag
 	return nil, lastErr
 }
 
-func (c *Client) oneUDP(ctx context.Context, addr string, wire []byte, id uint16) (*dnswire.Message, error) {
-	conn, err := c.dialer().DialContext(ctx, "udp", addr)
-	if err != nil {
-		return nil, err
+func (c *Client) oneUDP(ctx context.Context, addr string, wire []byte, q *dnswire.Message) (*dnswire.Message, error) {
+	var conn net.Conn
+	if c.Dialer == nil {
+		conn = getIdleUDP(addr)
 	}
-	defer conn.Close()
+	if conn == nil {
+		var err error
+		conn, err = c.dialer().DialContext(ctx, "udp", addr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// A socket that completed its exchange goes back to the idle pool;
+	// one that errored may be wedged, so it is closed instead.
+	reusable := false
+	defer func() {
+		if reusable && c.Dialer == nil {
+			putIdleUDP(addr, conn)
+		} else {
+			conn.Close()
+		}
+	}()
 	deadline := time.Now().Add(c.timeout())
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
@@ -181,21 +245,31 @@ func (c *Client) oneUDP(ctx context.Context, addr string, wire []byte, id uint16
 	if _, err := conn.Write(wire); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 65535)
+	rd := dnswire.GetBuffer()
+	defer dnswire.PutBuffer(rd)
+	rd.Grow(65535)
+	buf := rd.B[:65535]
+	resp := dnswire.GetMessage()
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {
+			dnswire.PutMessage(resp)
 			return nil, err
 		}
-		resp, err := dnswire.Unpack(buf[:n])
-		if err != nil {
+		if err := dnswire.UnpackInto(buf[:n], resp); err != nil {
 			// Malformed datagram from some middlebox: keep waiting
 			// for the real answer until the deadline.
 			continue
 		}
-		if resp.Header.ID != id {
+		if resp.Header.ID != q.Header.ID {
 			continue // stale or spoofed; RFC 5452 says ignore
 		}
+		if len(resp.Questions) > 0 && len(q.Questions) > 0 &&
+			(resp.Questions[0].Type != q.Questions[0].Type ||
+				!resp.Questions[0].Name.Equal(q.Questions[0].Name)) {
+			continue // echoed question disagrees: stale answer on a reused socket
+		}
+		reusable = true
 		return resp, nil
 	}
 }
@@ -203,10 +277,20 @@ func (c *Client) oneUDP(ctx context.Context, addr string, wire []byte, id uint16
 // ExchangeTCP performs a single DNS-over-TCP exchange (RFC 1035 §4.2.2
 // two-byte length framing).
 func (c *Client) ExchangeTCP(ctx context.Context, addr string, q *dnswire.Message) (*dnswire.Message, error) {
-	wire, err := q.Pack()
+	scratch := dnswire.GetBuffer()
+	defer dnswire.PutBuffer(scratch)
+	// Pack behind a 2-byte length placeholder so the frame goes out in
+	// one write; AppendPack keeps compression offsets message-relative.
+	frame, err := q.AppendPack(append(scratch.B[:0], 0, 0))
 	if err != nil {
 		return nil, err
 	}
+	wlen := len(frame) - 2
+	if wlen > 0xffff {
+		return nil, fmt.Errorf("dnsclient: message too large for TCP framing: %d", wlen)
+	}
+	frame[0], frame[1] = byte(wlen>>8), byte(wlen)
+	scratch.B = frame
 	conn, err := c.dialer().DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
@@ -219,18 +303,21 @@ func (c *Client) ExchangeTCP(ctx context.Context, addr string, q *dnswire.Messag
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
-	if err := WriteTCPMessage(conn, wire); err != nil {
+	if _, err := conn.Write(frame); err != nil {
 		return nil, err
 	}
-	raw, err := ReadTCPMessage(conn)
+	raw, err := ReadTCPMessageBuf(conn, frame[:0]) // frame already sent; reuse its storage
 	if err != nil {
 		return nil, err
 	}
-	resp, err := dnswire.Unpack(raw)
-	if err != nil {
+	scratch.B = raw
+	resp := dnswire.GetMessage()
+	if err := dnswire.UnpackInto(raw, resp); err != nil {
+		dnswire.PutMessage(resp)
 		return nil, err
 	}
 	if resp.Header.ID != q.Header.ID {
+		dnswire.PutMessage(resp)
 		return nil, ErrIDMismatch
 	}
 	return resp, nil
@@ -251,12 +338,23 @@ func WriteTCPMessage(w io.Writer, wire []byte) error {
 
 // ReadTCPMessage reads one length-prefixed DNS message.
 func ReadTCPMessage(r io.Reader) ([]byte, error) {
+	return ReadTCPMessageBuf(r, nil)
+}
+
+// ReadTCPMessageBuf is ReadTCPMessage reading into buf's storage when
+// its capacity suffices, allocating only for larger messages. The
+// returned slice aliases buf.
+func ReadTCPMessageBuf(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [2]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := int(hdr[0])<<8 | int(hdr[1])
-	buf := make([]byte, n)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}

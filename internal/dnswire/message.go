@@ -60,43 +60,21 @@ func (m *Message) Reply() *Message {
 }
 
 // Pack encodes the message into wire format with name compression.
+// It is a thin wrapper over AppendPack; single-question queries skip
+// the compression table entirely.
 func (m *Message) Pack() ([]byte, error) {
-	if len(m.Questions) > 0xffff || len(m.Answers) > 0xffff ||
-		len(m.Authorities) > 0xffff || len(m.Additionals) > 0xffff {
-		return nil, errors.New("dnswire: section too large")
-	}
-	b := make([]byte, 0, 128)
-	b = binary.BigEndian.AppendUint16(b, m.Header.ID)
-	b = binary.BigEndian.AppendUint16(b, m.Header.flags())
-	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Questions)))
-	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Answers)))
-	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Authorities)))
-	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Additionals)))
-
-	compress := make(map[string]int)
-	var err error
-	for _, q := range m.Questions {
-		if b, err = packName(b, q.Name, compress); err != nil {
-			return nil, err
-		}
-		b = binary.BigEndian.AppendUint16(b, uint16(q.Type))
-		b = binary.BigEndian.AppendUint16(b, uint16(q.Class))
-	}
-	for _, sec := range [][]ResourceRecord{m.Answers, m.Authorities, m.Additionals} {
-		for _, rr := range sec {
-			if b, err = packRR(b, rr, compress); err != nil {
-				return nil, err
-			}
-		}
+	b, err := m.AppendPack(make([]byte, 0, 128))
+	if err != nil {
+		return nil, err
 	}
 	return b, nil
 }
 
-func packRR(b []byte, rr ResourceRecord, compress map[string]int) ([]byte, error) {
+func packRR(b []byte, rr ResourceRecord, t *compressTable) ([]byte, error) {
 	if rr.Data == nil {
 		return nil, errors.New("dnswire: resource record with nil data")
 	}
-	b, err := packName(b, rr.Name, compress)
+	b, err := packName(b, rr.Name, t)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +96,7 @@ func packRR(b []byte, rr ResourceRecord, compress map[string]int) ([]byte, error
 	b = binary.BigEndian.AppendUint32(b, ttl)
 	lenAt := len(b)
 	b = binary.BigEndian.AppendUint16(b, 0) // placeholder RDLENGTH
-	b, err = rr.Data.pack(b, compress)
+	b, err = rr.Data.pack(b, t)
 	if err != nil {
 		return nil, err
 	}
@@ -130,78 +108,14 @@ func packRR(b []byte, rr ResourceRecord, compress map[string]int) ([]byte, error
 	return b, nil
 }
 
-// Unpack decodes a complete wire-format message.
+// Unpack decodes a complete wire-format message. It is a thin wrapper
+// over UnpackInto with a fresh Message.
 func Unpack(msg []byte) (*Message, error) {
-	if len(msg) < 12 {
-		return nil, errTruncated
-	}
-	m := &Message{Header: headerFromFlags(binary.BigEndian.Uint16(msg[2:]))}
-	m.Header.ID = binary.BigEndian.Uint16(msg[0:])
-	qd := int(binary.BigEndian.Uint16(msg[4:]))
-	an := int(binary.BigEndian.Uint16(msg[6:]))
-	ns := int(binary.BigEndian.Uint16(msg[8:]))
-	ar := int(binary.BigEndian.Uint16(msg[10:]))
-
-	off := 12
-	var err error
-	for i := 0; i < qd; i++ {
-		var q Question
-		q.Name, off, err = unpackName(msg, off)
-		if err != nil {
-			return nil, err
-		}
-		if off+4 > len(msg) {
-			return nil, errTruncated
-		}
-		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
-		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
-		off += 4
-		m.Questions = append(m.Questions, q)
-	}
-	for _, dst := range []*[]ResourceRecord{&m.Answers, &m.Authorities, &m.Additionals} {
-		n := an
-		switch dst {
-		case &m.Authorities:
-			n = ns
-		case &m.Additionals:
-			n = ar
-		}
-		for i := 0; i < n; i++ {
-			var rr ResourceRecord
-			rr, off, err = unpackRR(msg, off)
-			if err != nil {
-				return nil, err
-			}
-			*dst = append(*dst, rr)
-		}
+	m := new(Message)
+	if err := UnpackInto(msg, m); err != nil {
+		return nil, err
 	}
 	return m, nil
-}
-
-func unpackRR(msg []byte, off int) (ResourceRecord, int, error) {
-	var rr ResourceRecord
-	var err error
-	rr.Name, off, err = unpackName(msg, off)
-	if err != nil {
-		return rr, 0, err
-	}
-	if off+10 > len(msg) {
-		return rr, 0, errTruncated
-	}
-	rr.Type = Type(binary.BigEndian.Uint16(msg[off:]))
-	rr.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
-	rr.TTL = binary.BigEndian.Uint32(msg[off+4:])
-	rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
-	off += 10
-	rr.Data, err = unpackRData(msg, off, rdlen, rr.Type)
-	if err != nil {
-		return rr, 0, err
-	}
-	if opt, ok := rr.Data.(OPTRecord); ok {
-		opt.UDPSize = uint16(rr.Class)
-		rr.Data = opt
-	}
-	return rr, off + rdlen, nil
 }
 
 // Truncate returns a copy of m that fits within size bytes when

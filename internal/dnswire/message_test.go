@@ -191,7 +191,7 @@ func TestNameValidation(t *testing.T) {
 }
 
 func TestRootNameRoundTrip(t *testing.T) {
-	b, err := packName(nil, ".", make(map[string]int))
+	b, err := packName(nil, ".", new(compressTable))
 	if err != nil {
 		t.Fatalf("packName(.): %v", err)
 	}

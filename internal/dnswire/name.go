@@ -77,15 +77,28 @@ func (n Name) validate() error {
 	if n.IsRoot() {
 		return nil
 	}
+	return validateNameString(string(NewName(string(n))))
+}
+
+// validateNameString checks RFC 1035 length limits by scanning the
+// normalized (trailing-dot, non-root) presentation form without
+// splitting it into label strings.
+func validateNameString(s string) error {
 	wireLen := 1 // terminal zero octet
-	for _, label := range n.Labels() {
-		if label == "" {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] != '.' {
+			continue
+		}
+		l := i - start
+		if l == 0 {
 			return ErrEmptyLabel
 		}
-		if len(label) > 63 {
+		if l > 63 {
 			return ErrLabelTooLong
 		}
-		wireLen += 1 + len(label)
+		wireLen += 1 + l
+		start = i + 1
 	}
 	if wireLen > 255 {
 		return ErrNameTooLong
@@ -94,38 +107,82 @@ func (n Name) validate() error {
 }
 
 // packName appends the wire encoding of n to b, using and updating the
-// compression map (canonical suffix → offset). Offsets beyond the
-// 14-bit pointer range are not recorded.
-func packName(b []byte, n Name, compress map[string]int) ([]byte, error) {
-	n = NewName(string(n))
-	if err := n.validate(); err != nil {
+// compression table (suffix → message-relative offset). Offsets beyond
+// the 14-bit pointer range are not recorded. A nil table packs without
+// compression state — correct for any message whose first name is also
+// its last, since a first name can never match an empty table.
+func packName(b []byte, n Name, t *compressTable) ([]byte, error) {
+	s := string(n)
+	if s == "" || s == "." {
+		return append(b, 0), nil
+	}
+	if s[len(s)-1] != '.' {
+		s += "." // rare: names are normalized at construction
+	}
+	if err := validateNameString(s); err != nil {
 		return nil, err
 	}
-	labels := n.Labels()
-	for i := range labels {
-		suffix := strings.ToLower(strings.Join(labels[i:], ".")) + "."
-		if off, ok := compress[suffix]; ok {
-			return append(b, byte(0xc0|off>>8), byte(off)), nil
+	for si := 0; si < len(s); {
+		if t != nil {
+			if off, ok := t.find(b[t.base:], s[si:]); ok {
+				return append(b, byte(0xc0|off>>8), byte(off)), nil
+			}
+			if off := len(b) - t.base; off < 0x4000 {
+				t.add(off)
+			}
 		}
-		if off := len(b); off < 0x4000 && compress != nil {
-			compress[suffix] = off
+		dot := si
+		for s[dot] != '.' {
+			dot++
 		}
-		b = append(b, byte(len(labels[i])))
-		b = append(b, labels[i]...)
+		b = append(b, byte(dot-si))
+		b = append(b, s[si:dot]...)
+		si = dot + 1
 	}
 	return append(b, 0), nil
 }
+
+// nameBufSize is the scratch needed to decode any name the decoder
+// accepts: growth is capped at 255+64 bytes, checked after writing a
+// label of up to 63 bytes plus its dot.
+const nameBufSize = 255 + 64 + 64
 
 // unpackName decodes a possibly-compressed name starting at off,
 // returning the name and the offset just past it in the original
 // (non-pointer-following) stream.
 func unpackName(msg []byte, off int) (Name, int, error) {
-	var sb strings.Builder
+	var buf [nameBufSize]byte
+	n, next, err := unpackNameBuf(msg, off, buf[:])
+	if err != nil {
+		return "", 0, err
+	}
+	return Name(buf[:n]), next, nil
+}
+
+// unpackNameReuse is unpackName, but when the decoded name equals old
+// it returns old instead of allocating a fresh string. The comparison
+// against the stack scratch buffer is allocation-free.
+func unpackNameReuse(msg []byte, off int, old Name) (Name, int, error) {
+	var buf [nameBufSize]byte
+	n, next, err := unpackNameBuf(msg, off, buf[:])
+	if err != nil {
+		return "", 0, err
+	}
+	if len(old) == n && string(old) == string(buf[:n]) {
+		return old, next, nil
+	}
+	return Name(buf[:n]), next, nil
+}
+
+// unpackNameBuf decodes a possibly-compressed name starting at off
+// into buf (which must be at least nameBufSize bytes), returning the
+// decoded length and the caller's resume offset.
+func unpackNameBuf(msg []byte, off int, buf []byte) (n, next int, err error) {
 	ptrBudget := 64 // guards against pointer loops
-	next := -1      // offset after the first pointer, i.e. the caller's resume point
+	next = -1       // offset after the first pointer, i.e. the caller's resume point
 	for {
 		if off >= len(msg) {
-			return "", 0, errTruncated
+			return 0, 0, errTruncated
 		}
 		c := int(msg[off])
 		switch {
@@ -133,13 +190,14 @@ func unpackName(msg []byte, off int) (Name, int, error) {
 			if next == -1 {
 				next = off + 1
 			}
-			if sb.Len() == 0 {
-				return ".", next, nil
+			if n == 0 {
+				buf[0] = '.'
+				n = 1
 			}
-			return Name(sb.String()), next, nil
+			return n, next, nil
 		case c&0xc0 == 0xc0:
 			if off+1 >= len(msg) {
-				return "", 0, errTruncated
+				return 0, 0, errTruncated
 			}
 			ptr := (c&0x3f)<<8 | int(msg[off+1])
 			if next == -1 {
@@ -147,23 +205,24 @@ func unpackName(msg []byte, off int) (Name, int, error) {
 			}
 			if ptr >= off {
 				// A pointer must reference a strictly earlier offset.
-				return "", 0, ErrBadPointer
+				return 0, 0, ErrBadPointer
 			}
 			ptrBudget--
 			if ptrBudget <= 0 {
-				return "", 0, ErrBadPointer
+				return 0, 0, ErrBadPointer
 			}
 			off = ptr
 		case c&0xc0 != 0:
-			return "", 0, ErrBadPointer
+			return 0, 0, ErrBadPointer
 		default:
 			if off+1+c > len(msg) {
-				return "", 0, errTruncated
+				return 0, 0, errTruncated
 			}
-			sb.Write(msg[off+1 : off+1+c])
-			sb.WriteByte('.')
-			if sb.Len() > 255+64 {
-				return "", 0, ErrNameTooLong
+			n += copy(buf[n:], msg[off+1:off+1+c])
+			buf[n] = '.'
+			n++
+			if n > 255+64 {
+				return 0, 0, ErrNameTooLong
 			}
 			off += 1 + c
 		}

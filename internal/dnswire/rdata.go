@@ -13,7 +13,7 @@ type RData interface {
 	// Type returns the record type this payload belongs to.
 	Type() Type
 	// pack appends the RDATA (without the length prefix) to b.
-	pack(b []byte, compress map[string]int) ([]byte, error)
+	pack(b []byte, compress *compressTable) ([]byte, error)
 	// String renders the presentation form of the data.
 	String() string
 }
@@ -24,7 +24,7 @@ type ARecord struct{ Addr netip.Addr }
 // Type implements RData.
 func (ARecord) Type() Type { return TypeA }
 
-func (r ARecord) pack(b []byte, _ map[string]int) ([]byte, error) {
+func (r ARecord) pack(b []byte, _ *compressTable) ([]byte, error) {
 	if !r.Addr.Is4() {
 		return nil, fmt.Errorf("dnswire: A record with non-IPv4 address %v", r.Addr)
 	}
@@ -40,7 +40,7 @@ type AAAARecord struct{ Addr netip.Addr }
 // Type implements RData.
 func (AAAARecord) Type() Type { return TypeAAAA }
 
-func (r AAAARecord) pack(b []byte, _ map[string]int) ([]byte, error) {
+func (r AAAARecord) pack(b []byte, _ *compressTable) ([]byte, error) {
 	if !r.Addr.Is6() || r.Addr.Is4In6() {
 		return nil, fmt.Errorf("dnswire: AAAA record with non-IPv6 address %v", r.Addr)
 	}
@@ -56,7 +56,7 @@ type NSRecord struct{ NS Name }
 // Type implements RData.
 func (NSRecord) Type() Type { return TypeNS }
 
-func (r NSRecord) pack(b []byte, c map[string]int) ([]byte, error) { return packName(b, r.NS, c) }
+func (r NSRecord) pack(b []byte, c *compressTable) ([]byte, error) { return packName(b, r.NS, c) }
 func (r NSRecord) String() string                                  { return r.NS.String() }
 
 // CNAMERecord is a canonical-name alias.
@@ -65,7 +65,7 @@ type CNAMERecord struct{ Target Name }
 // Type implements RData.
 func (CNAMERecord) Type() Type { return TypeCNAME }
 
-func (r CNAMERecord) pack(b []byte, c map[string]int) ([]byte, error) {
+func (r CNAMERecord) pack(b []byte, c *compressTable) ([]byte, error) {
 	return packName(b, r.Target, c)
 }
 func (r CNAMERecord) String() string { return r.Target.String() }
@@ -76,7 +76,7 @@ type PTRRecord struct{ Target Name }
 // Type implements RData.
 func (PTRRecord) Type() Type { return TypePTR }
 
-func (r PTRRecord) pack(b []byte, c map[string]int) ([]byte, error) {
+func (r PTRRecord) pack(b []byte, c *compressTable) ([]byte, error) {
 	return packName(b, r.Target, c)
 }
 func (r PTRRecord) String() string { return r.Target.String() }
@@ -95,7 +95,7 @@ type SOARecord struct {
 // Type implements RData.
 func (SOARecord) Type() Type { return TypeSOA }
 
-func (r SOARecord) pack(b []byte, c map[string]int) ([]byte, error) {
+func (r SOARecord) pack(b []byte, c *compressTable) ([]byte, error) {
 	b, err := packName(b, r.MName, c)
 	if err != nil {
 		return nil, err
@@ -126,7 +126,7 @@ type MXRecord struct {
 // Type implements RData.
 func (MXRecord) Type() Type { return TypeMX }
 
-func (r MXRecord) pack(b []byte, c map[string]int) ([]byte, error) {
+func (r MXRecord) pack(b []byte, c *compressTable) ([]byte, error) {
 	b = binary.BigEndian.AppendUint16(b, r.Preference)
 	return packName(b, r.MX, c)
 }
@@ -139,7 +139,7 @@ type TXTRecord struct{ Strings []string }
 // Type implements RData.
 func (TXTRecord) Type() Type { return TypeTXT }
 
-func (r TXTRecord) pack(b []byte, _ map[string]int) ([]byte, error) {
+func (r TXTRecord) pack(b []byte, _ *compressTable) ([]byte, error) {
 	if len(r.Strings) == 0 {
 		return append(b, 0), nil
 	}
@@ -174,7 +174,7 @@ type OPTRecord struct {
 // Type implements RData.
 func (OPTRecord) Type() Type { return TypeOPT }
 
-func (r OPTRecord) pack(b []byte, _ map[string]int) ([]byte, error) {
+func (r OPTRecord) pack(b []byte, _ *compressTable) ([]byte, error) {
 	return append(b, r.Data...), nil
 }
 
@@ -189,81 +189,11 @@ type UnknownRecord struct {
 // Type implements RData.
 func (r UnknownRecord) Type() Type { return r.T }
 
-func (r UnknownRecord) pack(b []byte, _ map[string]int) ([]byte, error) {
+func (r UnknownRecord) pack(b []byte, _ *compressTable) ([]byte, error) {
 	return append(b, r.Raw...), nil
 }
 
 func (r UnknownRecord) String() string { return fmt.Sprintf("\\# %d", len(r.Raw)) }
 
-// unpackRData decodes the RDATA at msg[off:off+rdlen] for the given type.
-func unpackRData(msg []byte, off, rdlen int, typ Type) (RData, error) {
-	end := off + rdlen
-	if end > len(msg) {
-		return nil, errTruncated
-	}
-	switch typ {
-	case TypeA:
-		if rdlen != 4 {
-			return nil, fmt.Errorf("dnswire: A RDATA length %d", rdlen)
-		}
-		return ARecord{Addr: netip.AddrFrom4([4]byte(msg[off:end]))}, nil
-	case TypeAAAA:
-		if rdlen != 16 {
-			return nil, fmt.Errorf("dnswire: AAAA RDATA length %d", rdlen)
-		}
-		return AAAARecord{Addr: netip.AddrFrom16([16]byte(msg[off:end]))}, nil
-	case TypeNS:
-		n, _, err := unpackName(msg, off)
-		return NSRecord{NS: n}, err
-	case TypeCNAME:
-		n, _, err := unpackName(msg, off)
-		return CNAMERecord{Target: n}, err
-	case TypePTR:
-		n, _, err := unpackName(msg, off)
-		return PTRRecord{Target: n}, err
-	case TypeSOA:
-		var r SOARecord
-		var err error
-		var next int
-		r.MName, next, err = unpackName(msg, off)
-		if err != nil {
-			return nil, err
-		}
-		r.RName, next, err = unpackName(msg, next)
-		if err != nil {
-			return nil, err
-		}
-		if next+20 > len(msg) || next+20 > end {
-			return nil, errTruncated
-		}
-		r.Serial = binary.BigEndian.Uint32(msg[next:])
-		r.Refresh = binary.BigEndian.Uint32(msg[next+4:])
-		r.Retry = binary.BigEndian.Uint32(msg[next+8:])
-		r.Expire = binary.BigEndian.Uint32(msg[next+12:])
-		r.Minimum = binary.BigEndian.Uint32(msg[next+16:])
-		return r, nil
-	case TypeMX:
-		if rdlen < 3 {
-			return nil, errTruncated
-		}
-		pref := binary.BigEndian.Uint16(msg[off:])
-		n, _, err := unpackName(msg, off+2)
-		return MXRecord{Preference: pref, MX: n}, err
-	case TypeTXT:
-		var r TXTRecord
-		for p := off; p < end; {
-			l := int(msg[p])
-			p++
-			if p+l > end {
-				return nil, errTruncated
-			}
-			r.Strings = append(r.Strings, string(msg[p:p+l]))
-			p += l
-		}
-		return r, nil
-	case TypeOPT:
-		return OPTRecord{Data: append([]byte(nil), msg[off:end]...)}, nil
-	default:
-		return UnknownRecord{T: typ, Raw: append([]byte(nil), msg[off:end]...)}, nil
-	}
-}
+// RDATA decoding lives in append.go (unpackRDataReuse), shared by
+// Unpack and UnpackInto.

@@ -64,6 +64,11 @@ type Client struct {
 	serverURL *url.URL
 	hc        *http.Client
 	usePOST   bool
+	// queryPrefix is the GET query string up to and including "dns="
+	// (preceded by the endpoint's own parameters when it has any),
+	// precomputed so the GET path builds the ?dns= value by direct
+	// append instead of url.Values round trips.
+	queryPrefix string
 
 	mu    sync.Mutex
 	stats Stats
@@ -123,6 +128,10 @@ func New(serverURL string, opts *Options) (*Client, error) {
 		idle = 4
 	}
 	c := &Client{serverURL: u, usePOST: opts.POST}
+	c.queryPrefix = "dns="
+	if u.RawQuery != "" {
+		c.queryPrefix = u.RawQuery + "&dns="
+	}
 	switch {
 	case opts.HTTPClient != nil:
 		c.hc = opts.HTTPClient
@@ -201,49 +210,58 @@ func (c *Client) Query(ctx context.Context, name dnswire.Name, typ dnswire.Type)
 // Exchange sends the query q over DoH.
 func (c *Client) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
 	var timing Timing
-	wire, err := q.Pack()
+	scratch := dnswire.GetBuffer()
+	defer dnswire.PutBuffer(scratch)
+	wire, err := q.AppendPack(scratch.B[:0])
 	if err != nil {
 		return nil, timing, err
 	}
+	scratch.B = wire
 	req, err := c.buildRequest(ctx, wire)
 	if err != nil {
 		return nil, timing, err
 	}
 
-	var dnsStart, connStart, tlsStart time.Time
+	// All trace callbacks capture the one heap-allocated state struct
+	// rather than boxing each timestamp and the Timing individually.
+	st := &exchangeTrace{}
 	trace := &httptrace.ClientTrace{
-		DNSStart: func(httptrace.DNSStartInfo) { dnsStart = time.Now() },
+		DNSStart: func(httptrace.DNSStartInfo) { st.dnsStart = time.Now() },
 		DNSDone: func(httptrace.DNSDoneInfo) {
-			if !dnsStart.IsZero() {
-				timing.DNSLookup = time.Since(dnsStart)
+			if !st.dnsStart.IsZero() {
+				st.timing.DNSLookup = time.Since(st.dnsStart)
 			}
 		},
-		ConnectStart: func(string, string) { connStart = time.Now() },
+		ConnectStart: func(string, string) { st.connStart = time.Now() },
 		ConnectDone: func(_, _ string, err error) {
-			if err == nil && !connStart.IsZero() {
-				timing.Connect = time.Since(connStart)
+			if err == nil && !st.connStart.IsZero() {
+				st.timing.Connect = time.Since(st.connStart)
 			}
 		},
-		TLSHandshakeStart: func() { tlsStart = time.Now() },
+		TLSHandshakeStart: func() { st.tlsStart = time.Now() },
 		TLSHandshakeDone: func(tls.ConnectionState, error) {
-			if !tlsStart.IsZero() {
-				timing.TLSHandshake = time.Since(tlsStart)
+			if !st.tlsStart.IsZero() {
+				st.timing.TLSHandshake = time.Since(st.tlsStart)
 			}
 		},
 		GotConn: func(info httptrace.GotConnInfo) {
-			timing.Reused = info.Reused
+			st.timing.Reused = info.Reused
 		},
 	}
 	req = req.WithContext(httptrace.WithClientTrace(req.Context(), trace))
 
 	start := time.Now()
 	resp, err := c.hc.Do(req)
+	timing = st.timing
 	if err != nil {
 		c.count(func(s *Stats) { s.HTTPErrors++ })
 		return nil, timing, fmt.Errorf("dohclient: %w", err)
 	}
 	defer drainAndClose(resp.Body)
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	bodyBuf := dnswire.GetBuffer()
+	defer dnswire.PutBuffer(bodyBuf)
+	body, err := dnswire.ReadAllLimit(resp.Body, bodyBuf.B[:0], 1<<20)
+	bodyBuf.B = body
 	timing.Total = time.Since(start)
 	timing.RoundTrip = timing.Total - timing.DNSLookup - timing.Connect - timing.TLSHandshake
 	if err != nil {
@@ -258,21 +276,23 @@ func (c *Client) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mes
 		c.count(func(s *Stats) { s.WireErrors++ })
 		return nil, timing, fmt.Errorf("dohclient: unexpected content-type %q", ct)
 	}
-	m, err := dnswire.Unpack(body)
-	if err != nil {
+	m := dnswire.GetMessage()
+	if err := dnswire.UnpackInto(body, m); err != nil {
+		dnswire.PutMessage(m)
 		c.count(func(s *Stats) { s.WireErrors++ })
 		return nil, timing, fmt.Errorf("dohclient: decoding response: %w", err)
 	}
 	if m.Header.ID != q.Header.ID {
+		dnswire.PutMessage(m)
 		c.count(func(s *Stats) { s.WireErrors++ })
 		return nil, timing, fmt.Errorf("dohclient: response ID mismatch")
 	}
-	c.count(func(s *Stats) {
-		s.Exchanges++
-		if timing.Reused {
-			s.Reused++
-		}
-	})
+	c.mu.Lock()
+	c.stats.Exchanges++
+	if timing.Reused {
+		c.stats.Reused++
+	}
+	c.mu.Unlock()
 	return m, timing, nil
 }
 
@@ -286,16 +306,42 @@ func (c *Client) buildRequest(ctx context.Context, wire []byte) (*http.Request, 
 		req.Header.Set("Accept", "application/dns-message")
 		return req, nil
 	}
+	// Build the GET request by hand: cloning the pre-parsed endpoint
+	// URL and swapping in the ?dns= query skips the url.Parse that
+	// http.NewRequest would re-run on every exchange.
 	u := *c.serverURL
-	query := u.Query()
-	query.Set("dns", base64.RawURLEncoding.EncodeToString(wire))
-	u.RawQuery = query.Encode()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
-	if err != nil {
-		return nil, err
+	u.RawQuery = c.rawQuery(wire)
+	req := &http.Request{
+		Method:     http.MethodGet,
+		URL:        &u,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     http.Header{"Accept": acceptHeader},
+		Host:       u.Host,
 	}
-	req.Header.Set("Accept", "application/dns-message")
-	return req, nil
+	return req.WithContext(ctx), nil
+}
+
+// acceptHeader is the shared, never-mutated Accept value for GET
+// requests.
+var acceptHeader = []string{"application/dns-message"}
+
+// rawQuery builds "[params&]dns=<base64url(wire)>" by appending the
+// RawURLEncoding of the wire message directly after the precomputed
+// prefix — no url.Values map, no parameter sort, no intermediate
+// base64 string. One allocation remains: the returned query string.
+func (c *Client) rawQuery(wire []byte) string {
+	scratch := dnswire.GetBuffer()
+	n := len(c.queryPrefix) + base64.RawURLEncoding.EncodedLen(len(wire))
+	scratch.Grow(n)
+	b := append(scratch.B[:0], c.queryPrefix...)
+	b = b[:n]
+	base64.RawURLEncoding.Encode(b[len(c.queryPrefix):], wire)
+	s := string(b)
+	scratch.B = b
+	dnswire.PutBuffer(scratch)
+	return s
 }
 
 func (c *Client) count(f func(*Stats)) {
@@ -377,6 +423,22 @@ func (c *Client) QueryJSON(ctx context.Context, jsonURL string, name dnswire.Nam
 // drain is bounded: a well-behaved remainder is a few bytes, and
 // anything larger is not worth reading just to save a dial.
 func drainAndClose(body io.ReadCloser) {
-	io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	b := dnswire.GetBuffer()
+	b.Grow(4096)
+	buf := b.B[:4096]
+	for total := 0; total < 1<<20; {
+		n, err := body.Read(buf)
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	dnswire.PutBuffer(b)
 	body.Close()
+}
+
+// exchangeTrace carries one exchange's httptrace state.
+type exchangeTrace struct {
+	timing                        Timing
+	dnsStart, connStart, tlsStart time.Time
 }

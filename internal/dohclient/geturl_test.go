@@ -1,0 +1,91 @@
+package dohclient
+
+import (
+	"context"
+	"encoding/base64"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"repro/internal/dnswire"
+)
+
+// TestBuildRequestMatchesLegacyEncoding pins the direct-append ?dns=
+// request builder to what the url.Values construction it replaced
+// produced.
+func TestBuildRequestMatchesLegacyEncoding(t *testing.T) {
+	wire, err := dnswire.NewQuery(42, "test.a.com.", dnswire.TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []string{
+		"https://doh.example/dns-query",
+		"https://doh.example:8443/dns-query?profile=low",
+		"http://127.0.0.1:8080/q",
+	} {
+		c, err := New(base, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := c.buildRequest(context.Background(), wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.Method != http.MethodGet {
+			t.Errorf("%s: method %q, want GET", base, req.Method)
+		}
+		if got := req.Header.Get("Accept"); got != "application/dns-message" {
+			t.Errorf("%s: Accept = %q", base, got)
+		}
+		got := req.URL.String()
+
+		legacy, err := url.Parse(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := legacy.Query()
+		q.Set("dns", base64.RawURLEncoding.EncodeToString(wire))
+		legacy.RawQuery = q.Encode()
+
+		gu, err := url.Parse(got)
+		if err != nil {
+			t.Fatalf("buildRequest(%q) produced unparsable %q: %v", base, got, err)
+		}
+		if gu.Scheme != legacy.Scheme || gu.Host != legacy.Host || gu.Path != legacy.Path {
+			t.Errorf("%s: URL drifted: got %q, legacy %q", base, got, legacy.String())
+		}
+		// Parameter order may differ from url.Values' sorted encoding;
+		// the decoded parameter sets must not.
+		gq := gu.Query()
+		lq := legacy.Query()
+		if len(gq) != len(lq) {
+			t.Errorf("%s: query param count %d, legacy %d", base, len(gq), len(lq))
+		}
+		for k, v := range lq {
+			if len(gq[k]) != len(v) || gq.Get(k) != lq.Get(k) {
+				t.Errorf("%s: param %q = %q, legacy %q", base, k, gq[k], v)
+			}
+		}
+		if base == "https://doh.example/dns-query" && got != legacy.String() {
+			// With no preexisting params the two must be byte-identical.
+			t.Errorf("got %q, want %q", got, legacy.String())
+		}
+	}
+}
+
+// TestRawQueryAllocs is the regression gate for the GET fast path:
+// only the returned query string itself may allocate.
+func TestRawQueryAllocs(t *testing.T) {
+	c, err := New("https://doh.example/dns-query", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := dnswire.NewQuery(7, "bench.a.com.", dnswire.TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.rawQuery(wire) // warm the pooled scratch
+	if n := testing.AllocsPerRun(1000, func() { _ = c.rawQuery(wire) }); n > 1 {
+		t.Errorf("rawQuery allocates %.1f per op, want <= 1 (the query string)", n)
+	}
+}

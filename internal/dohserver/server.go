@@ -10,9 +10,9 @@ import (
 	"context"
 	"encoding/base64"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -57,13 +57,19 @@ func (h *Handler) ScrubbedECS() int64 { return h.scrubbed.Load() }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	raw, status, err := extractQuery(r)
+	// Pooled per-request scratch: the POST body / response wire buffer
+	// and the decoded query. The resolver's response is never pooled —
+	// its cache may retain it.
+	scratch := dnswire.GetBuffer()
+	defer dnswire.PutBuffer(scratch)
+	raw, status, err := extractQuery(r, scratch)
 	if err != nil {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	q, err := dnswire.Unpack(raw)
-	if err != nil || len(q.Questions) == 0 {
+	q := dnswire.GetMessage()
+	defer dnswire.PutMessage(q)
+	if err := dnswire.UnpackInto(raw, q); err != nil || len(q.Questions) == 0 {
 		http.Error(w, "malformed DNS message", http.StatusBadRequest)
 		return
 	}
@@ -85,14 +91,15 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		resp.Header.RCode = dnswire.RCodeServFail
 		resp.Header.RecursionAvailable = true
 	}
-	wire, err := resp.Pack()
+	wire, err := resp.AppendPack(scratch.B[:0]) // raw is dead after UnpackInto
 	if err != nil {
 		http.Error(w, "response encoding failed", http.StatusInternalServerError)
 		return
 	}
+	scratch.B = wire
 	w.Header().Set("Content-Type", ContentType)
 	w.Header().Set("Content-Length", strconv.Itoa(len(wire)))
-	w.Header().Set("Cache-Control", fmt.Sprintf("max-age=%d", h.maxAge(resp)))
+	w.Header().Set("Cache-Control", "max-age="+strconv.Itoa(h.maxAge(resp)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(wire)
 }
@@ -114,32 +121,52 @@ func (h *Handler) maxAge(resp *dnswire.Message) int {
 }
 
 // extractQuery pulls the raw DNS message out of a DoH request,
-// returning an HTTP status on failure.
-func extractQuery(r *http.Request) ([]byte, int, error) {
+// returning an HTTP status on failure. POST bodies land in scratch's
+// storage; the returned slice is only valid while scratch is held.
+func extractQuery(r *http.Request, scratch *dnswire.Buffer) ([]byte, int, error) {
 	switch r.Method {
 	case http.MethodGet:
-		b64 := r.URL.Query().Get("dns")
+		b64 := dnsQueryParam(r.URL.RawQuery)
+		if b64 == "" || strings.ContainsAny(b64, "%+") {
+			// Either absent on the fast scan or percent-escaped by a
+			// sloppy client: take url.Values' decoding slow path.
+			b64 = r.URL.Query().Get("dns")
+		}
 		if b64 == "" {
 			return nil, http.StatusBadRequest, fmt.Errorf("missing dns query parameter")
 		}
-		raw, err := base64.RawURLEncoding.DecodeString(b64)
+		// Decode inside scratch's storage: copy the base64 text in
+		// first, then decode into the region after it. DecodeString
+		// would allocate both the source copy and the output per
+		// request.
+		n := base64.RawURLEncoding.DecodedLen(len(b64))
+		if n > maxRequestSize {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("query too large")
+		}
+		scratch.Grow(len(b64) + n)
+		src := append(scratch.B[:0], b64...)
+		scratch.B = src
+		raw := src[len(b64) : len(b64)+n]
+		nw, err := base64.RawURLEncoding.Decode(raw, src)
 		if err != nil {
 			// Tolerate padded input from sloppy clients.
 			raw, err = base64.URLEncoding.DecodeString(b64)
 			if err != nil {
 				return nil, http.StatusBadRequest, fmt.Errorf("dns parameter is not base64url")
 			}
+			if len(raw) > maxRequestSize {
+				return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("query too large")
+			}
+			return raw, 0, nil
 		}
-		if len(raw) > maxRequestSize {
-			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("query too large")
-		}
-		return raw, 0, nil
+		return raw[:nw], 0, nil
 	case http.MethodPost:
 		if ct := r.Header.Get("Content-Type"); ct != ContentType {
 			return nil, http.StatusUnsupportedMediaType,
 				fmt.Errorf("content-type %q, want %q", ct, ContentType)
 		}
-		raw, err := io.ReadAll(io.LimitReader(r.Body, maxRequestSize+1))
+		raw, err := dnswire.ReadAllLimit(r.Body, scratch.B[:0], maxRequestSize+1)
+		scratch.B = raw[:0]
 		if err != nil {
 			return nil, http.StatusBadRequest, fmt.Errorf("reading body: %v", err)
 		}
@@ -150,6 +177,19 @@ func extractQuery(r *http.Request) ([]byte, int, error) {
 	default:
 		return nil, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method)
 	}
+}
+
+// dnsQueryParam extracts the raw (still percent-encoded) value of the
+// dns parameter from a query string without building a url.Values map.
+func dnsQueryParam(rawQuery string) string {
+	for rawQuery != "" {
+		var pair string
+		pair, rawQuery, _ = strings.Cut(rawQuery, "&")
+		if v, ok := strings.CutPrefix(pair, "dns="); ok {
+			return v
+		}
+	}
+	return ""
 }
 
 // Mux returns an http.ServeMux with the wire-format handler mounted

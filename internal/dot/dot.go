@@ -127,25 +127,38 @@ func (c *Client) exchangeLocked(ctx context.Context, q *dnswire.Message) (*dnswi
 
 	conn := c.conn
 	conn.SetDeadline(deadline)
-	wire, err := q.Pack()
+	scratch := dnswire.GetBuffer()
+	defer dnswire.PutBuffer(scratch)
+	// Pack behind the 2-byte length prefix so the frame goes out in a
+	// single TLS record write.
+	frame, err := q.AppendPack(append(scratch.B[:0], 0, 0))
 	if err != nil {
 		return nil, timing, err
 	}
+	wlen := len(frame) - 2
+	if wlen > 0xffff {
+		return nil, timing, fmt.Errorf("dot: message too large for framing: %d", wlen)
+	}
+	frame[0], frame[1] = byte(wlen>>8), byte(wlen)
+	scratch.B = frame
 	rtStart := time.Now()
-	if err := dnsclient.WriteTCPMessage(conn, wire); err != nil {
+	if _, err := conn.Write(frame); err != nil {
 		return nil, timing, fmt.Errorf("dot: write: %w", err)
 	}
-	raw, err := dnsclient.ReadTCPMessage(conn)
+	raw, err := dnsclient.ReadTCPMessageBuf(conn, frame[:0])
 	if err != nil {
 		return nil, timing, fmt.Errorf("dot: read: %w", err)
 	}
+	scratch.B = raw
 	timing.RoundTrip = time.Since(rtStart)
 	timing.Total = time.Since(start)
-	resp, err := dnswire.Unpack(raw)
-	if err != nil {
+	resp := dnswire.GetMessage()
+	if err := dnswire.UnpackInto(raw, resp); err != nil {
+		dnswire.PutMessage(resp)
 		return nil, timing, fmt.Errorf("dot: decode: %w", err)
 	}
 	if resp.Header.ID != q.Header.ID {
+		dnswire.PutMessage(resp)
 		return nil, timing, errors.New("dot: response ID mismatch")
 	}
 	return resp, timing, nil
@@ -234,14 +247,26 @@ func (s *Server) serve() {
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
+			// Per-connection scratch: the read buffer, the decoded
+			// query, and the response frame all live for the whole
+			// connection, so a busy client costs one allocation set,
+			// not one per query. The resolver's response is never
+			// pooled — caches may retain it.
+			rd := dnswire.GetBuffer()
+			defer dnswire.PutBuffer(rd)
+			wr := dnswire.GetBuffer()
+			defer dnswire.PutBuffer(wr)
+			q := dnswire.GetMessage()
+			defer dnswire.PutMessage(q)
 			for {
 				conn.SetDeadline(time.Now().Add(30 * time.Second))
-				raw, err := dnsclient.ReadTCPMessage(conn)
+				raw, err := dnsclient.ReadTCPMessageBuf(conn, rd.B[:0])
 				if err != nil {
 					return
 				}
-				q, err := dnswire.Unpack(raw)
-				if err != nil || q.Header.Response || len(q.Questions) == 0 {
+				rd.B = raw
+				if err := dnswire.UnpackInto(raw, q); err != nil ||
+					q.Header.Response || len(q.Questions) == 0 {
 					return
 				}
 				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -252,11 +277,17 @@ func (s *Server) serve() {
 					resp.Header.RCode = dnswire.RCodeServFail
 					resp.Header.RecursionAvailable = true
 				}
-				wire, err := resp.Pack()
+				frame, err := resp.AppendPack(append(wr.B[:0], 0, 0))
 				if err != nil {
 					return
 				}
-				if err := dnsclient.WriteTCPMessage(conn, wire); err != nil {
+				wlen := len(frame) - 2
+				if wlen > 0xffff {
+					return
+				}
+				frame[0], frame[1] = byte(wlen>>8), byte(wlen)
+				wr.B = frame
+				if _, err := conn.Write(frame); err != nil {
 					return
 				}
 			}

@@ -244,13 +244,24 @@ func (s *Server) serve() {
 		if err != nil {
 			return
 		}
-		pkt := make([]byte, n)
+		// Copy out of the reader loop's buffer via the pool so a steady
+		// query stream recycles a handful of packets instead of
+		// allocating one per datagram.
+		pb := dnswire.GetBuffer()
+		pb.Grow(n)
+		pkt := pb.B[:n]
 		copy(pkt, buf[:n])
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			q, err := dnswire.Unpack(pkt)
-			if err != nil || q.Header.Response || len(q.Questions) == 0 {
+			defer dnswire.PutBuffer(pb)
+			// The decode target is pooled too; the resolver's response
+			// never aliases its slices (Reply copies the question, and
+			// cached responses are resolver-owned).
+			q := dnswire.GetMessage()
+			defer dnswire.PutMessage(q)
+			if err := dnswire.UnpackInto(pkt, q); err != nil ||
+				q.Header.Response || len(q.Questions) == 0 {
 				return
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -265,10 +276,13 @@ func (s *Server) serve() {
 			if err != nil {
 				return
 			}
-			wire, err := limited.Pack()
+			out := dnswire.GetBuffer()
+			defer dnswire.PutBuffer(out)
+			wire, err := limited.AppendPack(out.B[:0])
 			if err != nil {
 				return
 			}
+			out.B = wire
 			s.udp.WriteToUDP(wire, src)
 		}()
 	}
