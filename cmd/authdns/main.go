@@ -28,6 +28,9 @@ func main() {
 	target := flag.String("addr", "127.0.0.1", "A record target for the wildcard")
 	zoneFile := flag.String("zonefile", "", "BIND-style master file to load instead of the built-in zone")
 	secondary := flag.String("secondary", "", "act as a secondary: AXFR the zone from this primary (host:port)")
+	listeners := flag.Int("listeners", 1, "parallel UDP listener shards (SO_REUSEPORT where available)")
+	batch := flag.Int("batch", 0, "datagrams per batched syscall (0 = engine default, 1 = no batching)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
 	origin := dnswire.NewName(*zoneName)
@@ -75,14 +78,21 @@ func main() {
 
 	srv := authserver.NewServer(zone)
 	srv.Logger = log.New(os.Stderr, "authdns: ", log.LstdFlags)
+	srv.Listeners = *listeners
+	srv.BatchSize = *batch
 	if err := srv.ListenAndServe(*listen); err != nil {
 		log.Fatalf("authdns: %v", err)
 	}
 	fmt.Printf("authdns: serving %s on %s (%s)\n", origin, srv.Addr(), zone)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
 	fmt.Printf("authdns: %d queries served, shutting down\n", len(srv.QueryLog()))
-	srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("authdns: shutdown: %v", err)
+	}
 }

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"context"
+	"net/netip"
+
+	"repro/internal/dnswire"
+)
+
+func staticUpstream(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	m := q.Reply()
+	m.Answers = append(m.Answers, dnswire.ResourceRecord{
+		Name: q.Questions[0].Name, Type: dnswire.TypeA,
+		Class: dnswire.ClassIN, TTL: 300,
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("203.0.113.9")},
+	})
+	return m, nil
+}

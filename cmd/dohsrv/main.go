@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/dnswire"
@@ -34,6 +38,7 @@ func main() {
 	dotListen := flag.String("dot", "", "also serve DNS-over-TLS on this address (e.g. 127.0.0.1:8853)")
 	metrics := flag.Bool("metrics", true, "expose the /metrics text endpoint")
 	cacheSize := flag.Int("cache", 65536, "answer cache entries")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -57,16 +62,16 @@ func main() {
 	})
 	handler := dohserver.NewHandler(res)
 
+	var dotSrv *dot.Server
 	if *dotListen != "" {
 		dotCfg, err := tlsutil.ServerConfig(*dotListen)
 		if err != nil {
 			log.Fatalf("dohsrv: DoT certificate: %v", err)
 		}
-		dotSrv := dot.NewServer(res, dotCfg)
+		dotSrv = dot.NewServer(res, dotCfg)
 		if err := dotSrv.ListenAndServe(*dotListen); err != nil {
 			log.Fatalf("dohsrv: DoT listener: %v", err)
 		}
-		defer dotSrv.Close()
 		fmt.Printf("dohsrv: DoT on %s (self-signed)\n", dotSrv.Addr())
 	}
 	mux := handler.Mux()
@@ -88,20 +93,45 @@ func main() {
 		WriteTimeout: 15 * time.Second,
 	}
 
-	if *plain {
-		fmt.Printf("dohsrv: http://%s%s -> zone %s via %s\n", *listen, dohserver.DefaultPath, *zone, *upstream)
-		log.Fatal(srv.ListenAndServe())
+	httpErr := make(chan error, 1)
+	go func() {
+		switch {
+		case *plain:
+			fmt.Printf("dohsrv: http://%s%s -> zone %s via %s\n", *listen, dohserver.DefaultPath, *zone, *upstream)
+			httpErr <- srv.ListenAndServe()
+		case *certFile != "":
+			fmt.Printf("dohsrv: https://%s%s\n", *listen, dohserver.DefaultPath)
+			httpErr <- srv.ListenAndServeTLS(*certFile, *keyFile)
+		default:
+			cfg, err := tlsutil.ServerConfig(*listen)
+			if err != nil {
+				httpErr <- fmt.Errorf("generating certificate: %w", err)
+				return
+			}
+			srv.TLSConfig = cfg
+			fmt.Printf("dohsrv: https://%s%s (self-signed) -> zone %s via %s\n",
+				*listen, dohserver.DefaultPath, *zone, *upstream)
+			httpErr <- srv.ListenAndServeTLS("", "")
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-httpErr:
+		log.Fatalf("dohsrv: %v", err)
+	case <-ctx.Done():
 	}
-	if *certFile != "" {
-		fmt.Printf("dohsrv: https://%s%s\n", *listen, dohserver.DefaultPath)
-		log.Fatal(srv.ListenAndServeTLS(*certFile, *keyFile))
+	stop()
+	fmt.Println("dohsrv: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("dohsrv: HTTP shutdown: %v", err)
 	}
-	cfg, err := tlsutil.ServerConfig(*listen)
-	if err != nil {
-		log.Fatalf("dohsrv: generating certificate: %v", err)
+	if dotSrv != nil {
+		if err := dotSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("dohsrv: DoT shutdown: %v", err)
+		}
 	}
-	srv.TLSConfig = cfg
-	fmt.Printf("dohsrv: https://%s%s (self-signed) -> zone %s via %s\n",
-		*listen, dohserver.DefaultPath, *zone, *upstream)
-	log.Fatal(srv.ListenAndServeTLS("", ""))
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -47,6 +48,9 @@ func main() {
 	minimize := flag.Bool("minimize", false, "QNAME minimization (RFC 7816) in iterative mode")
 	attempts := flag.Int("upstream-attempts", 2, "max attempts per upstream query (retries on timeout/drop)")
 	upstreamTimeout := flag.Duration("upstream-timeout", 3*time.Second, "per-attempt upstream timeout")
+	listeners := flag.Int("listeners", 1, "parallel UDP listener shards (SO_REUSEPORT where available)")
+	workers := flag.Int("workers", 0, "resolver workers per listener (0 = default pool size)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
 	if *forward == "" && *roots == "" {
@@ -75,6 +79,8 @@ func main() {
 	}
 
 	srv := recursive.NewServer(res)
+	srv.Listeners = *listeners
+	srv.Concurrency = *workers
 	if err := srv.ListenAndServe(*listen); err != nil {
 		log.Fatalf("recursor: %v", err)
 	}
@@ -84,11 +90,16 @@ func main() {
 	}
 	fmt.Printf("recursor: listening on %s, %s\n", srv.Addr(), mode)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
 	st := res.Cache().Unwrap().Stats()
 	fmt.Printf("recursor: cache %d hits (%d negative) / %d misses, %d evictions, shutting down\n",
 		st.Hits, st.NegativeHits, st.Misses, st.Evictions)
-	srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("recursor: shutdown: %v", err)
+	}
 }

@@ -2,15 +2,13 @@ package authserver
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"log"
 	"net"
 	"sync"
 	"time"
 
-	"repro/internal/dnsclient"
 	"repro/internal/dnswire"
+	"repro/internal/serve"
 )
 
 // QueryLogEntry records one query seen by the server. The paper uses
@@ -25,7 +23,11 @@ type QueryLogEntry struct {
 	Protocol string // "udp" or "tcp"
 }
 
-// Server serves a Zone authoritatively over UDP and TCP.
+// Server serves a Zone authoritatively over UDP and TCP. Transport
+// mechanics (socket sharding, batched datagram I/O, framing, graceful
+// drain) live in the serve engine; this type supplies the DNS
+// semantics: zone lookups, CNAME chasing, AXFR, rate limiting, and the
+// query log.
 type Server struct {
 	Zone *Zone
 	// Logger, when set, receives one line per malformed packet.
@@ -35,81 +37,116 @@ type Server struct {
 	// handshake proves the source address.
 	Limiter *RateLimiter
 
+	// Listeners, BatchSize, and Concurrency tune the serving engine
+	// (see serve.Options); the zero values use the engine defaults
+	// (inline handling, which suits this CPU-light handler). Set them
+	// before ListenAndServe.
+	Listeners   int
+	BatchSize   int
+	Concurrency int
+
+	// QueryLogLimit caps the in-memory query log. Once the log holds
+	// this many entries each new query overwrites the oldest, so a
+	// long-running server keeps a bounded window instead of growing
+	// without limit. 0 means DefaultQueryLogLimit; a negative value
+	// disables query logging entirely.
+	QueryLogLimit int
+
 	mu      sync.Mutex
-	queries []QueryLogEntry
-	udp     *net.UDPConn
-	tcp     net.Listener
-	wg      sync.WaitGroup
-	closed  bool
+	queries []QueryLogEntry // ring once len reaches the limit
+	qhead   int             // oldest entry when the ring has wrapped
+	engine  *serve.Server
 }
+
+// DefaultQueryLogLimit bounds the query log when QueryLogLimit is 0:
+// enough to enumerate every resolver PoP the paper's vantage points
+// uncover, small enough (~5 MB) to never matter.
+const DefaultQueryLogLimit = 1 << 16
 
 // NewServer returns a server for zone, not yet listening.
 func NewServer(zone *Zone) *Server { return &Server{Zone: zone} }
 
 // ListenAndServe binds UDP and TCP on addr (e.g. "127.0.0.1:0") and
-// serves until Close. It returns once both listeners are accepting, so
-// callers can immediately query Addr(). With an ephemeral port, the
-// kernel picks the UDP port first and the matching TCP port may
-// already be taken; the bind retries with a fresh UDP port until both
-// line up.
+// serves until Shutdown or Close. It returns once both listeners are
+// accepting, so callers can immediately query Addr(). With an
+// ephemeral port, the engine retries until a matching UDP/TCP port
+// pair lines up.
 func (s *Server) ListenAndServe(addr string) error {
-	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	engine, err := serve.New(addr, serve.Options{
+		Packet:      serve.PacketHandlerFunc(s.servePacket),
+		Stream:      serve.StreamHandlerFunc(s.serveMessage),
+		Listeners:   s.Listeners,
+		BatchSize:   s.BatchSize,
+		Concurrency: s.Concurrency,
+		Logf:        s.logf,
+	})
 	if err != nil {
 		return err
 	}
-	var lastErr error
-	for attempt := 0; attempt < 16; attempt++ {
-		udp, err := net.ListenUDP("udp", uaddr)
-		if err != nil {
-			return err
-		}
-		tcp, err := net.Listen("tcp", udp.LocalAddr().String())
-		if err != nil {
-			udp.Close()
-			lastErr = err
-			if uaddr.Port != 0 {
-				return err // a fixed port cannot be retried
-			}
-			continue
-		}
-		s.udp, s.tcp = udp, tcp
-		s.wg.Add(2)
-		go s.serveUDP()
-		go s.serveTCP()
+	s.engine = engine
+	return nil
+}
+
+// Addr returns the bound address, or "" before ListenAndServe.
+func (s *Server) Addr() string { return s.engine.Addr() }
+
+// Serve blocks until ctx is cancelled, then drains gracefully. Call
+// after ListenAndServe.
+func (s *Server) Serve(ctx context.Context) error { return s.engine.Serve(ctx) }
+
+// Shutdown gracefully stops the server: intake stops at once and
+// in-flight queries complete unless ctx expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.engine == nil {
 		return nil
 	}
-	return fmt.Errorf("authserver: no UDP/TCP port pair available: %w", lastErr)
+	return s.engine.Shutdown(ctx)
 }
 
-// Addr returns the bound address, valid after ListenAndServe.
-func (s *Server) Addr() string { return s.udp.LocalAddr().String() }
-
-// Close stops the listeners and waits for handler goroutines.
+// Close force-stops the listeners without draining.
+//
+// Deprecated: prefer Shutdown (graceful) or Serve with a cancellable
+// context; Close remains for callers of the original bare lifecycle.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	var err error
-	if s.udp != nil {
-		err = errors.Join(err, s.udp.Close())
+	if s.engine == nil {
+		return nil
 	}
-	if s.tcp != nil {
-		err = errors.Join(err, s.tcp.Close())
-	}
-	s.wg.Wait()
-	return err
+	return s.engine.Close()
 }
 
-// QueryLog returns a snapshot of the query log.
+// QueryLog returns a snapshot of the query log, oldest first. When
+// more than QueryLogLimit queries have arrived, only the most recent
+// window is retained.
 func (s *Server) QueryLog() []QueryLogEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]QueryLogEntry(nil), s.queries...)
+	out := make([]QueryLogEntry, 0, len(s.queries))
+	out = append(out, s.queries[s.qhead:]...)
+	return append(out, s.queries[:s.qhead]...)
 }
 
 func (s *Server) logQuery(e QueryLogEntry) {
+	limit := s.QueryLogLimit
+	if limit == 0 {
+		limit = DefaultQueryLogLimit
+	}
+	if limit < 0 {
+		return
+	}
 	s.mu.Lock()
-	s.queries = append(s.queries, e)
+	switch {
+	case len(s.queries) < limit:
+		s.queries = append(s.queries, e)
+	default:
+		// Ring is full: overwrite the oldest entry. (If the limit was
+		// lowered between queries the extra tail entries simply age
+		// out as the head advances.)
+		s.queries[s.qhead] = e
+		s.qhead++
+		if s.qhead >= len(s.queries) {
+			s.qhead = 0
+		}
+	}
 	s.mu.Unlock()
 }
 
@@ -119,98 +156,52 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-func (s *Server) serveUDP() {
-	defer s.wg.Done()
-	buf := make([]byte, 65535)
-	for {
-		n, src, err := s.udp.ReadFromUDP(buf)
-		if err != nil {
-			return // closed
-		}
-		// The reader loop keeps reusing buf, so the handler goroutine
-		// needs its own copy — sourced from the pool so a steady query
-		// stream recycles a handful of packets instead of allocating
-		// one per datagram.
-		pb := dnswire.GetBuffer()
-		pb.Grow(n)
-		pkt := pb.B[:n]
-		copy(pkt, buf[:n])
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer dnswire.PutBuffer(pb)
-			if !s.Limiter.Allow(src) {
-				s.logf("authserver: rate-limited response to %v", src)
-				return
-			}
-			resp := s.handlePacket(pkt, src, "udp")
-			if resp == nil {
-				return
-			}
-			limited, err := resp.Truncate(dnswire.MaxUDPPayload)
-			if err != nil {
-				s.logf("authserver: truncate: %v", err)
-				return
-			}
-			out := dnswire.GetBuffer()
-			defer dnswire.PutBuffer(out)
-			wire, err := limited.AppendPack(out.B[:0])
-			if err != nil {
-				s.logf("authserver: pack: %v", err)
-				return
-			}
-			out.B = wire
-			if _, err := s.udp.WriteToUDP(wire, src); err != nil {
-				s.logf("authserver: udp write: %v", err)
-			}
-		}()
+// servePacket answers one UDP datagram on the engine's scratch.
+func (s *Server) servePacket(_ context.Context, out, raw []byte, src net.Addr) ([]byte, error) {
+	if !s.Limiter.Allow(src) {
+		s.logf("authserver: rate-limited response to %v", src)
+		return nil, nil
 	}
+	resp := s.handlePacket(raw, src, "udp")
+	if resp == nil {
+		return nil, nil
+	}
+	// Pack optimistically; almost every response fits the UDP payload
+	// limit, and the fitting case must not pay for a measuring pack.
+	wire, err := resp.AppendPack(out)
+	if err != nil {
+		s.logf("authserver: pack: %v", err)
+		return nil, nil
+	}
+	if len(wire)-len(out) <= dnswire.MaxUDPPayload {
+		return wire, nil
+	}
+	limited, err := resp.Truncate(dnswire.MaxUDPPayload)
+	if err != nil {
+		s.logf("authserver: truncate: %v", err)
+		return nil, nil
+	}
+	wire, err = limited.AppendPack(out)
+	if err != nil {
+		s.logf("authserver: pack: %v", err)
+		return nil, nil
+	}
+	return wire, nil
 }
 
-func (s *Server) serveTCP() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.tcp.Accept()
-		if err != nil {
-			return // closed
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
-			conn.SetDeadline(time.Now().Add(10 * time.Second))
-			rd := dnswire.GetBuffer()
-			defer dnswire.PutBuffer(rd)
-			wr := dnswire.GetBuffer()
-			defer dnswire.PutBuffer(wr)
-			for {
-				raw, err := dnsclient.ReadTCPMessageBuf(conn, rd.B[:0])
-				if err != nil {
-					return
-				}
-				rd.B = raw
-				resp := s.handlePacket(raw, conn.RemoteAddr(), "tcp")
-				if resp == nil {
-					return
-				}
-				frame, err := resp.AppendPack(append(wr.B[:0], 0, 0))
-				if err != nil {
-					s.logf("authserver: pack: %v", err)
-					return
-				}
-				wlen := len(frame) - 2
-				if wlen > 0xffff {
-					s.logf("authserver: response too large for TCP framing: %d", wlen)
-					return
-				}
-				frame[0], frame[1] = byte(wlen>>8), byte(wlen)
-				wr.B = frame
-				if _, err := conn.Write(frame); err != nil {
-					return
-				}
-			}
-		}()
+// serveMessage answers one framed TCP query; a nil return closes the
+// connection, matching how the legacy loop treated unparseable input.
+func (s *Server) serveMessage(_ context.Context, out, raw []byte, src net.Addr) ([]byte, error) {
+	resp := s.handlePacket(raw, src, "tcp")
+	if resp == nil {
+		return nil, nil
 	}
+	wire, err := resp.AppendPack(out)
+	if err != nil {
+		s.logf("authserver: pack: %v", err)
+		return nil, nil
+	}
+	return wire, nil
 }
 
 // handlePacket parses a raw query and produces the response message,
@@ -318,6 +309,9 @@ func (s *Server) chaseCNAME(rrs []dnswire.ResourceRecord, typ dnswire.Type, dept
 
 // WaitContext blocks until ctx is done, then closes the server. Handy
 // for cmd/ binaries.
+//
+// Deprecated: use Serve(ctx), which drains gracefully instead of
+// force-closing.
 func (s *Server) WaitContext(ctx context.Context) error {
 	<-ctx.Done()
 	return s.Close()

@@ -55,12 +55,16 @@ func (n Name) Labels() []string {
 
 // Parent returns the name with the leftmost label removed.
 // "a.b.com." → "b.com.". The parent of the root is the root.
+// For a dot-terminated name this is a zero-allocation slice of n,
+// which keeps zone-walk loops (delegation and wildcard ancestry)
+// off the heap.
 func (n Name) Parent() Name {
-	labels := n.Labels()
-	if len(labels) <= 1 {
+	s := string(NewName(string(n)))
+	i := strings.IndexByte(s, '.')
+	if i < 0 || i == len(s)-1 {
 		return "."
 	}
-	return Name(strings.Join(labels[1:], ".") + ".")
+	return Name(s[i+1:])
 }
 
 // IsSubdomainOf reports whether n is equal to or underneath zone.

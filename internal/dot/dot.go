@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/dnsclient"
 	"repro/internal/dnswire"
+	"repro/internal/serve"
 )
 
 // DefaultPort is the IANA-assigned DoT port.
@@ -195,15 +196,20 @@ type Handler interface {
 }
 
 // Server serves DoT by delegating to a Handler (typically a caching
-// recursive resolver).
+// recursive resolver). Accept loops, TLS, framing, idle deadlines,
+// per-connection scratch, and graceful drain all come from the serve
+// engine; this type supplies decode → resolve → encode.
 type Server struct {
 	// Resolver answers decoded queries.
 	Resolver Handler
 	// TLSConfig must carry a certificate.
 	TLSConfig *tls.Config
 
-	ln net.Listener
-	wg sync.WaitGroup
+	// Listeners is the number of parallel accept loops (see
+	// serve.Options); zero means one. Set before ListenAndServe.
+	Listeners int
+
+	engine *serve.Server
 }
 
 // NewServer builds a DoT server.
@@ -211,86 +217,72 @@ func NewServer(res Handler, cfg *tls.Config) *Server {
 	return &Server{Resolver: res, TLSConfig: cfg}
 }
 
-// ListenAndServe binds addr and serves until Close.
+// ListenAndServe binds addr and serves until Shutdown or Close.
 func (s *Server) ListenAndServe(addr string) error {
 	if s.TLSConfig == nil || len(s.TLSConfig.Certificates) == 0 && s.TLSConfig.GetCertificate == nil {
 		return errors.New("dot: server needs a TLS certificate")
 	}
-	ln, err := tls.Listen("tcp", addr, s.TLSConfig)
+	engine, err := serve.New(addr, serve.Options{
+		Stream:            serve.StreamHandlerFunc(s.serveMessage),
+		TLSConfig:         s.TLSConfig,
+		Listeners:         s.Listeners,
+		QueryTimeout:      10 * time.Second,
+		StreamIdleTimeout: 30 * time.Second,
+	})
 	if err != nil {
 		return err
 	}
-	s.ln = ln
-	s.wg.Add(1)
-	go s.serve()
+	s.engine = engine
 	return nil
 }
 
-// Addr returns the bound address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+// Addr returns the bound address, or "" before ListenAndServe.
+func (s *Server) Addr() string { return s.engine.Addr() }
 
-// Close stops the listener and waits for handlers.
-func (s *Server) Close() error {
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
+// Serve blocks until ctx is cancelled, then drains gracefully. Call
+// after ListenAndServe.
+func (s *Server) Serve(ctx context.Context) error { return s.engine.Serve(ctx) }
+
+// Shutdown gracefully stops the server: accepting stops at once, the
+// frame each connection is serving completes unless ctx expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.engine == nil {
+		return nil
+	}
+	return s.engine.Shutdown(ctx)
 }
 
-func (s *Server) serve() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
-			// Per-connection scratch: the read buffer, the decoded
-			// query, and the response frame all live for the whole
-			// connection, so a busy client costs one allocation set,
-			// not one per query. The resolver's response is never
-			// pooled — caches may retain it.
-			rd := dnswire.GetBuffer()
-			defer dnswire.PutBuffer(rd)
-			wr := dnswire.GetBuffer()
-			defer dnswire.PutBuffer(wr)
-			q := dnswire.GetMessage()
-			defer dnswire.PutMessage(q)
-			for {
-				conn.SetDeadline(time.Now().Add(30 * time.Second))
-				raw, err := dnsclient.ReadTCPMessageBuf(conn, rd.B[:0])
-				if err != nil {
-					return
-				}
-				rd.B = raw
-				if err := dnswire.UnpackInto(raw, q); err != nil ||
-					q.Header.Response || len(q.Questions) == 0 {
-					return
-				}
-				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-				resp, err := s.Resolver.Resolve(ctx, q)
-				cancel()
-				if err != nil {
-					resp = q.Reply()
-					resp.Header.RCode = dnswire.RCodeServFail
-					resp.Header.RecursionAvailable = true
-				}
-				frame, err := resp.AppendPack(append(wr.B[:0], 0, 0))
-				if err != nil {
-					return
-				}
-				wlen := len(frame) - 2
-				if wlen > 0xffff {
-					return
-				}
-				frame[0], frame[1] = byte(wlen>>8), byte(wlen)
-				wr.B = frame
-				if _, err := conn.Write(frame); err != nil {
-					return
-				}
-			}
-		}()
+// Close force-stops the listener and connections without draining.
+//
+// Deprecated: prefer Shutdown (graceful) or Serve with a cancellable
+// context; Close remains for callers of the original bare lifecycle.
+func (s *Server) Close() error {
+	if s.engine == nil {
+		return nil
 	}
+	return s.engine.Close()
+}
+
+// serveMessage answers one framed query; returning nil closes the
+// connection (unparseable input), matching RFC 7858 server behavior.
+func (s *Server) serveMessage(ctx context.Context, out, raw []byte, _ net.Addr) ([]byte, error) {
+	// The decode target is pooled; the resolver's response is never
+	// pooled — caches may retain it.
+	q := dnswire.GetMessage()
+	defer dnswire.PutMessage(q)
+	if err := dnswire.UnpackInto(raw, q); err != nil ||
+		q.Header.Response || len(q.Questions) == 0 {
+		return nil, nil
+	}
+	resp, err := s.Resolver.Resolve(ctx, q)
+	if err != nil {
+		resp = q.Reply()
+		resp.Header.RCode = dnswire.RCodeServFail
+		resp.Header.RecursionAvailable = true
+	}
+	wire, err := resp.AppendPack(out)
+	if err != nil {
+		return nil, nil
+	}
+	return wire, nil
 }

@@ -1,0 +1,51 @@
+package dot
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/tlsutil"
+)
+
+// TestServerLifecycle covers the context-aware surface: Addr is ""
+// before listening, Serve blocks until cancelled, an established
+// client keeps working while Serve runs, and Shutdown is idempotent.
+func TestServerLifecycle(t *testing.T) {
+	var unstarted Server
+	if got := unstarted.Addr(); got != "" {
+		t.Fatalf("Addr before ListenAndServe = %q, want \"\"", got)
+	}
+	if err := unstarted.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown before ListenAndServe: %v", err)
+	}
+
+	srv := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx) }()
+
+	c := &Client{Addr: srv.Addr(), TLSConfig: tlsutil.InsecureClientConfig()}
+	defer c.Close()
+	resp, _, err := c.Query(context.Background(), "live.a.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Query while serving: %v", err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after context cancel")
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown after Serve: %v", err)
+	}
+}

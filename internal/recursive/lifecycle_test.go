@@ -1,0 +1,64 @@
+package recursive
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dnsclient"
+	"repro/internal/dnswire"
+)
+
+// TestServerLifecycle covers the context-aware surface on the Do53
+// front end: Addr is "" before listening, Serve blocks until
+// cancelled, queries resolve while Serve runs, Shutdown is idempotent.
+func TestServerLifecycle(t *testing.T) {
+	var unstarted Server
+	if got := unstarted.Addr(); got != "" {
+		t.Fatalf("Addr before ListenAndServe = %q, want \"\"", got)
+	}
+	if err := unstarted.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown before ListenAndServe: %v", err)
+	}
+
+	res := New(nil)
+	res.SetDefault(UpstreamFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		m := q.Reply()
+		m.Answers = append(m.Answers, dnswire.ResourceRecord{
+			Name: q.Questions[0].Name, Type: dnswire.TypeA,
+			Class: dnswire.ClassIN, TTL: 60,
+			Data: dnswire.ARecord{Addr: netip.MustParseAddr("203.0.113.7")},
+		})
+		return m, nil
+	}))
+	srv := NewServer(res)
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx) }()
+
+	var c dnsclient.Client
+	resp, _, err := c.Query(context.Background(), srv.Addr(), "live.a.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Query while serving: %v", err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after context cancel")
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown after Serve: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dnsclient"
 	"repro/internal/dnswire"
+	"repro/internal/serve"
 )
 
 // Upstream answers queries on behalf of the resolver. Implementations
@@ -200,90 +201,108 @@ func tailorResponse(shared *dnswire.Message, q *dnswire.Message) *dnswire.Messag
 }
 
 // Server exposes a Resolver over UDP, acting as the "default resolver"
-// an exit node's operating system points at.
+// an exit node's operating system points at. Transport mechanics run
+// on the serve engine in dispatch mode: recursion blocks on upstream
+// I/O, so each datagram goes to a worker pool instead of being
+// answered inline on the reader loop.
 type Server struct {
 	Resolver *Resolver
 
-	udp *net.UDPConn
-	wg  sync.WaitGroup
+	// Listeners, BatchSize, and Concurrency tune the serving engine
+	// (see serve.Options). Zero values pick the defaults; Concurrency
+	// defaults to DefaultConcurrency because the handler blocks. Set
+	// them before ListenAndServe.
+	Listeners   int
+	BatchSize   int
+	Concurrency int
+
+	engine *serve.Server
 }
+
+// DefaultConcurrency is the per-listener resolver worker-pool size
+// used when Server.Concurrency is zero.
+const DefaultConcurrency = 64
+
+// QueryTimeout bounds one client query end to end, including every
+// upstream iteration the resolver makes on its behalf.
+const QueryTimeout = 10 * time.Second
 
 // NewServer wraps r in a UDP server.
 func NewServer(r *Resolver) *Server { return &Server{Resolver: r} }
 
-// ListenAndServe binds addr and serves until Close.
+// ListenAndServe binds addr and serves until Shutdown or Close.
 func (s *Server) ListenAndServe(addr string) error {
-	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	conc := s.Concurrency
+	if conc <= 0 {
+		conc = DefaultConcurrency
+	}
+	engine, err := serve.New(addr, serve.Options{
+		Packet:       serve.PacketHandlerFunc(s.servePacket),
+		Listeners:    s.Listeners,
+		BatchSize:    s.BatchSize,
+		Concurrency:  conc,
+		QueryTimeout: QueryTimeout,
+	})
 	if err != nil {
 		return err
 	}
-	s.udp, err = net.ListenUDP("udp", uaddr)
-	if err != nil {
-		return err
-	}
-	s.wg.Add(1)
-	go s.serve()
+	s.engine = engine
 	return nil
 }
 
-// Addr returns the bound address.
-func (s *Server) Addr() string { return s.udp.LocalAddr().String() }
+// Addr returns the bound address, or "" before ListenAndServe.
+func (s *Server) Addr() string { return s.engine.Addr() }
 
-// Close stops the server.
-func (s *Server) Close() error {
-	err := s.udp.Close()
-	s.wg.Wait()
-	return err
+// Serve blocks until ctx is cancelled, then drains gracefully. Call
+// after ListenAndServe.
+func (s *Server) Serve(ctx context.Context) error { return s.engine.Serve(ctx) }
+
+// Shutdown gracefully stops the server: intake stops at once and
+// in-flight resolutions complete unless ctx expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.engine == nil {
+		return nil
+	}
+	return s.engine.Shutdown(ctx)
 }
 
-func (s *Server) serve() {
-	defer s.wg.Done()
-	buf := make([]byte, 65535)
-	for {
-		n, src, err := s.udp.ReadFromUDP(buf)
-		if err != nil {
-			return
-		}
-		// Copy out of the reader loop's buffer via the pool so a steady
-		// query stream recycles a handful of packets instead of
-		// allocating one per datagram.
-		pb := dnswire.GetBuffer()
-		pb.Grow(n)
-		pkt := pb.B[:n]
-		copy(pkt, buf[:n])
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer dnswire.PutBuffer(pb)
-			// The decode target is pooled too; the resolver's response
-			// never aliases its slices (Reply copies the question, and
-			// cached responses are resolver-owned).
-			q := dnswire.GetMessage()
-			defer dnswire.PutMessage(q)
-			if err := dnswire.UnpackInto(pkt, q); err != nil ||
-				q.Header.Response || len(q.Questions) == 0 {
-				return
-			}
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer cancel()
-			resp, err := s.Resolver.Resolve(ctx, q)
-			if err != nil {
-				resp = q.Reply()
-				resp.Header.RCode = dnswire.RCodeServFail
-				resp.Header.RecursionAvailable = true
-			}
-			limited, err := resp.Truncate(dnswire.MaxUDPPayload)
-			if err != nil {
-				return
-			}
-			out := dnswire.GetBuffer()
-			defer dnswire.PutBuffer(out)
-			wire, err := limited.AppendPack(out.B[:0])
-			if err != nil {
-				return
-			}
-			out.B = wire
-			s.udp.WriteToUDP(wire, src)
-		}()
+// Close force-stops the server without draining.
+//
+// Deprecated: prefer Shutdown (graceful) or Serve with a cancellable
+// context; Close remains for callers of the original bare lifecycle.
+func (s *Server) Close() error {
+	if s.engine == nil {
+		return nil
 	}
+	return s.engine.Close()
+}
+
+// servePacket resolves one client datagram on a dispatch worker. The
+// context already carries QueryTimeout (and is cancelled early on a
+// forced shutdown).
+func (s *Server) servePacket(ctx context.Context, out, raw []byte, _ net.Addr) ([]byte, error) {
+	// The decode target is pooled; the resolver's response never
+	// aliases its slices (Reply copies the question, and cached
+	// responses are resolver-owned).
+	q := dnswire.GetMessage()
+	defer dnswire.PutMessage(q)
+	if err := dnswire.UnpackInto(raw, q); err != nil ||
+		q.Header.Response || len(q.Questions) == 0 {
+		return nil, nil
+	}
+	resp, err := s.Resolver.Resolve(ctx, q)
+	if err != nil {
+		resp = q.Reply()
+		resp.Header.RCode = dnswire.RCodeServFail
+		resp.Header.RecursionAvailable = true
+	}
+	limited, err := resp.Truncate(dnswire.MaxUDPPayload)
+	if err != nil {
+		return nil, nil
+	}
+	wire, err := limited.AppendPack(out)
+	if err != nil {
+		return nil, nil
+	}
+	return wire, nil
 }

@@ -1,0 +1,128 @@
+// Package batchio provides the platform layer under the serving
+// engine: SO_REUSEPORT socket creation and batched datagram I/O
+// (recvmmsg/sendmmsg on Linux, a portable one-datagram loop
+// elsewhere). It is split from the engine so both sides of a
+// measurement can use it — the server's listener shards and a load
+// generator pipelining queries from the client side — without the
+// engine exporting its internals.
+package batchio
+
+import "net"
+
+// MaxDatagram is the largest UDP payload a DNS message can occupy;
+// batch slots are sized to it so no legal message is truncated.
+const MaxDatagram = 65535
+
+// Batch is the server-side batched datagram surface. Read blocks for
+// at least one datagram and reports how many slots it filled; Packet
+// and Addr expose slot i until the next Read; Write sends the non-nil
+// responses back to the matching sources. On Linux this is backed by
+// recvmmsg/sendmmsg (one syscall per batch in each direction);
+// elsewhere — and whenever size is 1 — a portable loop moves one
+// datagram at a time.
+type Batch interface {
+	Read() (int, error)
+	Packet(i int) []byte
+	Addr(i int) *net.UDPAddr
+	Write(resps [][]byte) error
+}
+
+// New returns the fastest Batch the platform offers for conn: mmsg
+// batching up to size datagrams per syscall where available, the loop
+// fallback otherwise. size <= 1 always selects the loop.
+func New(conn *net.UDPConn, size int) Batch {
+	return newBatch(conn, size)
+}
+
+// loopBatch is the portable fallback: plain blocking reads and writes,
+// one datagram per call.
+type loopBatch struct {
+	conn *net.UDPConn
+	buf  []byte
+	n    int
+	src  *net.UDPAddr
+}
+
+func newLoopBatch(conn *net.UDPConn) *loopBatch {
+	return &loopBatch{conn: conn, buf: make([]byte, MaxDatagram)}
+}
+
+func (b *loopBatch) Read() (int, error) {
+	n, src, err := b.conn.ReadFromUDP(b.buf)
+	if err != nil {
+		return 0, err
+	}
+	b.n, b.src = n, src
+	return 1, nil
+}
+
+func (b *loopBatch) Packet(int) []byte     { return b.buf[:b.n] }
+func (b *loopBatch) Addr(int) *net.UDPAddr { return b.src }
+
+func (b *loopBatch) Write(resps [][]byte) error {
+	if len(resps) == 0 || len(resps[0]) == 0 {
+		return nil
+	}
+	_, err := b.conn.WriteToUDP(resps[0], b.src)
+	return err
+}
+
+// Conn is the client-side twin: batched send and receive on a
+// connected UDP socket, for load generators and pipelining clients.
+// Send moves all pkts with as few syscalls as the platform allows;
+// Recv fills up to size slots and reports how many, with Packet
+// exposing slot i until the next Recv.
+type Conn struct {
+	impl connImpl
+}
+
+type connImpl interface {
+	Send(pkts [][]byte) error
+	Recv() (int, error)
+	Packet(i int) []byte
+}
+
+// NewConn wraps a connected UDP socket (from net.Dial) for batched
+// exchange of up to size datagrams per syscall.
+func NewConn(conn *net.UDPConn, size int) (*Conn, error) {
+	impl, err := newConnImpl(conn, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{impl: impl}, nil
+}
+
+func (c *Conn) Send(pkts [][]byte) error { return c.impl.Send(pkts) }
+func (c *Conn) Recv() (int, error)       { return c.impl.Recv() }
+func (c *Conn) Packet(i int) []byte      { return c.impl.Packet(i) }
+
+// loopConn is the portable Conn fallback: one datagram per syscall.
+type loopConn struct {
+	conn *net.UDPConn
+	buf  []byte
+	n    int
+}
+
+func newLoopConn(conn *net.UDPConn) *loopConn {
+	return &loopConn{conn: conn, buf: make([]byte, MaxDatagram)}
+}
+
+func (c *loopConn) Send(pkts [][]byte) error {
+	for _, p := range pkts {
+		if _, err := c.conn.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *loopConn) Recv() (int, error) {
+	n, err := c.conn.Read(c.buf)
+	if err != nil {
+		return 0, err
+	}
+	c.n = n
+	return 1, nil
+}
+
+func (c *loopConn) Packet(int) []byte { return c.buf[:c.n] }

@@ -1,0 +1,274 @@
+//go:build linux && (amd64 || arm64)
+
+package batchio
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// soReusePort is SO_REUSEPORT, which the syscall package does not
+// export. Its value is uniform across Linux architectures.
+const soReusePort = 0xf
+
+// ReusePortAvailable reports whether this platform supports binding
+// several sockets to one address with SO_REUSEPORT.
+const ReusePortAvailable = true
+
+// ListenUDPReusePort binds a UDP socket with SO_REUSEPORT set before
+// bind, so several shards can own the same port and the kernel hashes
+// flows across them.
+func ListenUDPReusePort(addr string) (*net.UDPConn, error) {
+	lc := reusePortConfig()
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}
+
+// ListenTCPReusePort is the stream-side twin, used to give an HTTP
+// (DoH) front end several kernel accept queues on one port.
+func ListenTCPReusePort(addr string) (net.Listener, error) {
+	lc := reusePortConfig()
+	return lc.Listen(context.Background(), "tcp", addr)
+}
+
+func reusePortConfig() net.ListenConfig {
+	return net.ListenConfig{Control: func(_, _ string, rc syscall.RawConn) error {
+		var serr error
+		if err := rc.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+}
+
+// Wire-format structs for recvmmsg/sendmmsg on 64-bit Linux. The
+// syscall package has no mmsg support, so the layouts are spelled out
+// here; they match <bits/socket.h> for amd64 and arm64.
+type iovec struct {
+	base *byte
+	len  uint64
+}
+
+type msghdr struct {
+	name       *byte
+	namelen    uint32
+	_          [4]byte
+	iov        *iovec
+	iovlen     uint64
+	control    *byte
+	controllen uint64
+	flags      int32
+	_          [4]byte
+}
+
+type mmsghdr struct {
+	hdr msghdr
+	len uint32
+	_   [4]byte
+}
+
+// sockaddrSize is sizeof(struct sockaddr_storage).
+const sockaddrSize = 128
+
+// mmsgBatch moves up to len(hdrs) datagrams per syscall in each
+// direction. All storage — packet slots, sockaddr slots, iovecs,
+// message headers — is allocated once at listener start and reused for
+// every batch; response sockaddrs are the received ones echoed back
+// untouched, so the write path never re-encodes an address.
+type mmsgBatch struct {
+	conn  *net.UDPConn
+	rc    syscall.RawConn
+	bufs  [][]byte
+	names [][sockaddrSize]byte
+	iovs  []iovec
+	hdrs  []mmsghdr
+	siovs []iovec
+	shdrs []mmsghdr
+	n     int
+}
+
+func newMmsgBatch(conn *net.UDPConn, size int) (*mmsgBatch, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	b := &mmsgBatch{
+		conn:  conn,
+		rc:    rc,
+		bufs:  make([][]byte, size),
+		names: make([][sockaddrSize]byte, size),
+		iovs:  make([]iovec, size),
+		hdrs:  make([]mmsghdr, size),
+		siovs: make([]iovec, size),
+		shdrs: make([]mmsghdr, size),
+	}
+	for i := range b.bufs {
+		b.bufs[i] = make([]byte, MaxDatagram)
+		b.iovs[i] = iovec{base: &b.bufs[i][0], len: MaxDatagram}
+		b.hdrs[i].hdr = msghdr{
+			name:    &b.names[i][0],
+			namelen: sockaddrSize,
+			iov:     &b.iovs[i],
+			iovlen:  1,
+		}
+	}
+	return b, nil
+}
+
+// Read performs one recvmmsg, using the runtime poller to wait for
+// readability so deadlines (graceful shutdown wakes blocked readers by
+// setting one in the past) and Close behave exactly like ReadFromUDP.
+func (b *mmsgBatch) Read() (int, error) {
+	for i := range b.hdrs {
+		b.hdrs[i].hdr.namelen = sockaddrSize
+		b.hdrs[i].hdr.flags = 0
+		b.hdrs[i].len = 0
+	}
+	var n uintptr
+	var errno syscall.Errno
+	err := b.rc.Read(func(fd uintptr) bool {
+		n, _, errno = syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&b.hdrs[0])), uintptr(len(b.hdrs)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		return errno != syscall.EAGAIN
+	})
+	runtime.KeepAlive(b)
+	if err != nil {
+		return 0, err
+	}
+	if errno != 0 {
+		return 0, errno
+	}
+	b.n = int(n)
+	return b.n, nil
+}
+
+func (b *mmsgBatch) Packet(i int) []byte { return b.bufs[i][:b.hdrs[i].len] }
+
+// Addr decodes slot i's source into a fresh *net.UDPAddr (handlers may
+// retain it, so the sockaddr slot cannot be shared).
+func (b *mmsgBatch) Addr(i int) *net.UDPAddr {
+	name := &b.names[i]
+	family := uint16(name[0]) | uint16(name[1])<<8
+	port := int(name[2])<<8 | int(name[3])
+	switch family {
+	case syscall.AF_INET:
+		ip := make(net.IP, 4)
+		copy(ip, name[4:8])
+		return &net.UDPAddr{IP: ip, Port: port}
+	case syscall.AF_INET6:
+		ip := make(net.IP, 16)
+		copy(ip, name[8:24])
+		return &net.UDPAddr{IP: ip, Port: port}
+	}
+	return &net.UDPAddr{}
+}
+
+// Write sends the non-nil responses with as few sendmmsg calls as the
+// kernel allows (partial sends continue where they left off).
+func (b *mmsgBatch) Write(resps [][]byte) error {
+	m := 0
+	for i := 0; i < b.n && i < len(resps); i++ {
+		r := resps[i]
+		if len(r) == 0 {
+			continue
+		}
+		b.siovs[m] = iovec{base: &r[0], len: uint64(len(r))}
+		b.shdrs[m].hdr = msghdr{
+			name:    &b.names[i][0],
+			namelen: b.hdrs[i].hdr.namelen,
+			iov:     &b.siovs[m],
+			iovlen:  1,
+		}
+		b.shdrs[m].len = 0
+		m++
+	}
+	if err := b.sendmmsg(b.shdrs[:m], resps); err != nil {
+		return err
+	}
+	return nil
+}
+
+// sendmmsg pushes hdrs out, continuing across partial sends, keeping
+// pkts alive for the duration of the raw syscalls.
+func (b *mmsgBatch) sendmmsg(hdrs []mmsghdr, pkts [][]byte) error {
+	off := 0
+	for off < len(hdrs) {
+		var sent uintptr
+		var errno syscall.Errno
+		err := b.rc.Write(func(fd uintptr) bool {
+			sent, _, errno = syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&hdrs[off])), uintptr(len(hdrs)-off),
+				syscall.MSG_DONTWAIT, 0, 0)
+			return errno != syscall.EAGAIN
+		})
+		runtime.KeepAlive(b)
+		runtime.KeepAlive(pkts)
+		if err != nil {
+			return err
+		}
+		if errno != 0 {
+			return errno
+		}
+		off += int(sent)
+	}
+	return nil
+}
+
+// newBatch picks the fastest batched I/O the platform offers.
+func newBatch(conn *net.UDPConn, size int) Batch {
+	if size <= 1 {
+		return newLoopBatch(conn)
+	}
+	if mb, err := newMmsgBatch(conn, size); err == nil {
+		return mb
+	}
+	return newLoopBatch(conn)
+}
+
+// mmsgConn is the connected-socket client side: sendmmsg with a nil
+// destination (the connected peer) and recvmmsg ignoring sources.
+type mmsgConn struct {
+	b *mmsgBatch
+}
+
+func newConnImpl(conn *net.UDPConn, size int) (connImpl, error) {
+	if size <= 1 {
+		return newLoopConn(conn), nil
+	}
+	b, err := newMmsgBatch(conn, size)
+	if err != nil {
+		return newLoopConn(conn), nil
+	}
+	return &mmsgConn{b: b}, nil
+}
+
+func (c *mmsgConn) Send(pkts [][]byte) error {
+	off := 0
+	for off < len(pkts) {
+		m := 0
+		for off+m < len(pkts) && m < len(c.b.shdrs) {
+			p := pkts[off+m]
+			c.b.siovs[m] = iovec{base: &p[0], len: uint64(len(p))}
+			c.b.shdrs[m].hdr = msghdr{iov: &c.b.siovs[m], iovlen: 1}
+			c.b.shdrs[m].len = 0
+			m++
+		}
+		if err := c.b.sendmmsg(c.b.shdrs[:m], pkts[off:off+m]); err != nil {
+			return err
+		}
+		off += m
+	}
+	return nil
+}
+
+func (c *mmsgConn) Recv() (int, error)  { return c.b.Read() }
+func (c *mmsgConn) Packet(i int) []byte { return c.b.Packet(i) }

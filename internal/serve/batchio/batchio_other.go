@@ -1,0 +1,28 @@
+//go:build !(linux && (amd64 || arm64))
+
+package batchio
+
+import (
+	"errors"
+	"net"
+)
+
+// ReusePortAvailable reports whether this platform supports binding
+// several sockets to one address with SO_REUSEPORT.
+const ReusePortAvailable = false
+
+func ListenUDPReusePort(string) (*net.UDPConn, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func ListenTCPReusePort(string) (net.Listener, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func newBatch(conn *net.UDPConn, _ int) Batch {
+	return newLoopBatch(conn)
+}
+
+func newConnImpl(conn *net.UDPConn, _ int) (connImpl, error) {
+	return newLoopConn(conn), nil
+}

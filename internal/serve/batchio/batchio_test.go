@@ -1,0 +1,138 @@
+package batchio
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func echoServer(t *testing.T, size int) (addr string, stop func()) {
+	t.Helper()
+	uaddr, _ := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	b := New(conn, size)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resps := make([][]byte, size)
+		for {
+			n, err := b.Read()
+			if err != nil {
+				return
+			}
+			for i := 0; i < n; i++ {
+				resps[i] = append([]byte(nil), b.Packet(i)...)
+			}
+			if err := b.Write(resps[:n]); err != nil {
+				return
+			}
+		}
+	}()
+	return conn.LocalAddr().String(), func() {
+		conn.Close()
+		<-done
+	}
+}
+
+// TestConnBatchRoundTrip exchanges a pipelined window through the
+// batched client and the batched server and checks every datagram
+// comes back intact.
+func TestConnBatchRoundTrip(t *testing.T) {
+	for _, size := range []int{1, 8} {
+		t.Run(fmt.Sprintf("size=%d", size), func(t *testing.T) {
+			addr, stop := echoServer(t, size)
+			defer stop()
+			raw, err := net.Dial("udp", addr)
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			defer raw.Close()
+			uc := raw.(*net.UDPConn)
+			c, err := NewConn(uc, size)
+			if err != nil {
+				t.Fatalf("NewConn: %v", err)
+			}
+			const total = 20
+			pkts := make([][]byte, total)
+			for i := range pkts {
+				pkts[i] = []byte(fmt.Sprintf("pkt-%02d", i))
+			}
+			if err := c.Send(pkts); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			seen := make(map[string]bool)
+			deadline := time.Now().Add(5 * time.Second)
+			for len(seen) < total {
+				uc.SetReadDeadline(deadline)
+				n, err := c.Recv()
+				if err != nil {
+					t.Fatalf("Recv after %d/%d: %v", len(seen), total, err)
+				}
+				for i := 0; i < n; i++ {
+					seen[string(c.Packet(i))] = true
+				}
+			}
+			for i := range pkts {
+				if !seen[string(pkts[i])] {
+					t.Fatalf("packet %q never echoed", pkts[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBatchAddrsEcho checks the server-side Batch reports usable
+// source addresses (responses reach the right socket).
+func TestBatchAddrsEcho(t *testing.T) {
+	addr, stop := echoServer(t, 4)
+	defer stop()
+	conns := make([]*net.UDPConn, 3)
+	for i := range conns {
+		c, err := net.Dial("udp", addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer c.Close()
+		conns[i] = c.(*net.UDPConn)
+		msg := fmt.Sprintf("from-%d", i)
+		if _, err := c.Write([]byte(msg)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	buf := make([]byte, 64)
+	for i, c := range conns {
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		n, err := c.Read(buf)
+		if err != nil {
+			t.Fatalf("conn %d read: %v", i, err)
+		}
+		if want := fmt.Sprintf("from-%d", i); string(buf[:n]) != want {
+			t.Fatalf("conn %d got %q, want %q", i, buf[:n], want)
+		}
+	}
+}
+
+// TestReusePort binds two UDP sockets to one port where the platform
+// allows it, and checks the advertised capability matches reality.
+func TestReusePort(t *testing.T) {
+	if !ReusePortAvailable {
+		if _, err := ListenUDPReusePort("127.0.0.1:0"); err == nil {
+			t.Fatal("ListenUDPReusePort succeeded with ReusePortAvailable=false")
+		}
+		t.Skip("SO_REUSEPORT unavailable on this platform")
+	}
+	first, err := ListenUDPReusePort("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("first bind: %v", err)
+	}
+	defer first.Close()
+	second, err := ListenUDPReusePort(first.LocalAddr().String())
+	if err != nil {
+		t.Fatalf("second bind on %s: %v", first.LocalAddr(), err)
+	}
+	second.Close()
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package batchio
+
+// mmsg syscall numbers; the syscall package exports RECVMMSG but not
+// SENDMMSG on this architecture.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,8 @@
+//go:build linux && arm64
+
+package batchio
+
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

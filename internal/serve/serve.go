@@ -1,0 +1,517 @@
+// Package serve is the unified DNS serving engine. Every socket-facing
+// server in the reproduction (the authoritative server, the recursive
+// resolver's Do53 front end, and the DoT front end) runs on this one
+// engine instead of maintaining its own accept/read loop, so the
+// paper's server-side story — resolver points of presence absorbing
+// encrypted-DNS traffic from tens of thousands of clients — has a
+// single fast path to optimise and a single lifecycle API to drive.
+//
+// The engine separates transport mechanics from DNS semantics:
+//
+//   - A PacketHandler answers datagram (UDP) queries wire-in/wire-out:
+//     it receives the raw query bytes and appends the raw response to a
+//     scratch slice the engine owns. The engine shards the UDP socket
+//     across Options.Listeners reader loops (SO_REUSEPORT where the
+//     platform supports it, a shared socket otherwise) and moves
+//     datagrams in recvmmsg/sendmmsg-shaped batches of Options.BatchSize
+//     with a portable one-at-a-time fallback.
+//   - A StreamHandler answers queries carried over 2-byte length-framed
+//     TCP or TLS connections (RFC 1035 §4.2.2, RFC 7858). The engine
+//     owns accept loops, per-connection framing, idle deadlines, and
+//     connection-lifetime scratch.
+//
+// Lifecycle is context-aware: New binds and starts serving, Serve
+// blocks until the context is cancelled, and Shutdown drains in-flight
+// queries before closing (forcing the issue when its context expires).
+// The legacy ListenAndServe/Close surface on the wrapped servers
+// remains as a compatibility veneer over this API.
+package serve
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve/batchio"
+)
+
+// PacketHandler answers one datagram query in wire format. raw holds
+// the query exactly as read from the socket; the response is appended
+// to out (engine-owned scratch with len 0) and returned. Returning a
+// nil or empty slice — or an error — drops the query without a
+// response, which is the correct reaction to malformed or rate-limited
+// input on UDP. src is the query's source address (always a
+// *net.UDPAddr) and may be retained. Handlers must not retain raw or
+// out past the call.
+type PacketHandler interface {
+	ServePacket(ctx context.Context, out, raw []byte, src net.Addr) ([]byte, error)
+}
+
+// PacketHandlerFunc adapts a function to PacketHandler.
+type PacketHandlerFunc func(ctx context.Context, out, raw []byte, src net.Addr) ([]byte, error)
+
+// ServePacket implements PacketHandler.
+func (f PacketHandlerFunc) ServePacket(ctx context.Context, out, raw []byte, src net.Addr) ([]byte, error) {
+	return f(ctx, out, raw, src)
+}
+
+// StreamHandler answers one query from a 2-byte length-framed TCP or
+// TLS stream. The engine strips the frame from the query and adds it
+// to the response, writing both in a single segment when the response
+// fits the handler's scratch. Returning nil (or an error) closes the
+// connection, mirroring how a DNS server treats an unparseable framed
+// message. src is the connection's remote address.
+type StreamHandler interface {
+	ServeMessage(ctx context.Context, out, raw []byte, src net.Addr) ([]byte, error)
+}
+
+// StreamHandlerFunc adapts a function to StreamHandler.
+type StreamHandlerFunc func(ctx context.Context, out, raw []byte, src net.Addr) ([]byte, error)
+
+// ServeMessage implements StreamHandler.
+func (f StreamHandlerFunc) ServeMessage(ctx context.Context, out, raw []byte, src net.Addr) ([]byte, error) {
+	return f(ctx, out, raw, src)
+}
+
+// DefaultBatchSize is the datagrams-per-syscall budget used when
+// Options.BatchSize is zero. 32 covers the socket backlog a busy
+// loopback benchmark accumulates while one batch is being answered.
+const DefaultBatchSize = 32
+
+// Options configures a Server. The zero value serves nothing; at least
+// one of Packet and Stream must be set.
+type Options struct {
+	// Packet, when set, serves UDP datagrams on the bound address.
+	Packet PacketHandler
+	// Stream, when set, serves 2-byte-framed TCP (or TLS, with
+	// TLSConfig) connections. When both Packet and Stream are set the
+	// engine binds UDP and TCP on the same port, retrying ephemeral
+	// ports until a matching pair is free.
+	Stream StreamHandler
+	// TLSConfig wraps accepted stream connections in TLS (DoT).
+	TLSConfig *tls.Config
+
+	// Listeners is the number of parallel intake loops: UDP socket
+	// shards (one socket each under SO_REUSEPORT, readers on a shared
+	// socket otherwise) and stream accept goroutines. 0 means 1; set
+	// runtime.NumCPU() for per-core sharding.
+	Listeners int
+	// BatchSize caps datagrams moved per batched read/write syscall.
+	// 0 uses DefaultBatchSize; 1 forces the portable loop fallback.
+	BatchSize int
+	// Concurrency, when positive, dispatches each datagram to a
+	// per-listener pool of that many worker goroutines instead of
+	// answering inline on the reader loop. Use it when the handler
+	// blocks (a recursive resolver doing upstream I/O); leave it zero
+	// for CPU-bound handlers (an authoritative zone lookup), where the
+	// inline path answers whole batches without a single goroutine
+	// switch.
+	Concurrency int
+
+	// QueryTimeout bounds each handler invocation with a derived
+	// context. 0 passes the engine's base context (no per-query timer).
+	QueryTimeout time.Duration
+	// StreamIdleTimeout closes stream connections idle between frames
+	// (default 30s).
+	StreamIdleTimeout time.Duration
+
+	// Registry receives engine metrics: serve_packets_total,
+	// serve_responses_total, serve_dropped_total, serve_batches_total,
+	// the serve_batch_size gauge, stream counters, and one
+	// serve_listener_<i>_queue_depth gauge per listener (dispatch
+	// backlog in dispatch mode, last batch size inline). Nil records
+	// into a private registry.
+	Registry *obs.Registry
+	// Logf, when set, receives one line per dropped packet or
+	// connection-level failure.
+	Logf func(format string, args ...any)
+}
+
+// Server is the serving engine. Create one with New; it is not usable
+// as a zero value.
+type Server struct {
+	opts Options
+
+	udpConns  []*net.UDPConn
+	sharedUDP bool // Listeners readers share udpConns[0]
+	tcpLn     net.Listener
+	addr      string
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	wg       sync.WaitGroup
+	draining atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	shutdownOnce sync.Once
+	shutdownCh   chan struct{}
+	waitOnce     sync.Once
+	finished     chan struct{}
+	closeOnce    sync.Once
+	closeErr     error
+
+	metrics metrics
+}
+
+// metrics is the engine's obs surface.
+type metrics struct {
+	packets    *obs.Counter
+	responses  *obs.Counter
+	dropped    *obs.Counter
+	batches    *obs.Counter
+	batchSize  *obs.Gauge
+	streams    *obs.Counter
+	streamQs   *obs.Counter
+	queueDepth []*obs.Gauge // one per listener
+}
+
+// New binds addr and starts serving with the given options. The
+// returned server is live: Addr reports the bound address and queries
+// are answered until Shutdown or Close. Use Serve to block a goroutine
+// on the serving lifetime.
+func New(addr string, opts Options) (*Server, error) {
+	if opts.Packet == nil && opts.Stream == nil {
+		return nil, errors.New("serve: Options needs a Packet or Stream handler")
+	}
+	if opts.Listeners <= 0 {
+		opts.Listeners = 1
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.StreamIdleTimeout <= 0 {
+		opts.StreamIdleTimeout = 30 * time.Second
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		opts:       opts,
+		shutdownCh: make(chan struct{}),
+		finished:   make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
+	s.metrics = metrics{
+		packets:   reg.Counter("serve_packets_total"),
+		responses: reg.Counter("serve_responses_total"),
+		dropped:   reg.Counter("serve_dropped_total"),
+		batches:   reg.Counter("serve_batches_total"),
+		batchSize: reg.Gauge("serve_batch_size"),
+		streams:   reg.Counter("serve_streams_total"),
+		streamQs:  reg.Counter("serve_stream_queries_total"),
+	}
+	for i := 0; i < opts.Listeners; i++ {
+		s.metrics.queueDepth = append(s.metrics.queueDepth,
+			reg.Gauge(fmt.Sprintf("serve_listener_%d_queue_depth", i)))
+	}
+
+	if err := s.bind(addr); err != nil {
+		return nil, err
+	}
+	if s.tcpLn != nil && opts.TLSConfig != nil {
+		s.tcpLn = tls.NewListener(s.tcpLn, opts.TLSConfig)
+	}
+	s.start()
+	return s, nil
+}
+
+// ReusePortTCP binds n TCP listeners to one address via SO_REUSEPORT,
+// giving an HTTP (DoH) front end n independent kernel accept queues.
+// n of 1 is always a plain listen; n > 1 requires platform support.
+func ReusePortTCP(addr string, n int) ([]net.Listener, error) {
+	if n <= 1 {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.Listener{ln}, nil
+	}
+	if !batchio.ReusePortAvailable {
+		return nil, errors.New("serve: SO_REUSEPORT unavailable on this platform")
+	}
+	lns := make([]net.Listener, 0, n)
+	first, err := batchio.ListenTCPReusePort(addr)
+	if err != nil {
+		return nil, err
+	}
+	lns = append(lns, first)
+	bound := first.Addr().String()
+	for i := 1; i < n; i++ {
+		ln, err := batchio.ListenTCPReusePort(bound)
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, err
+		}
+		lns = append(lns, ln)
+	}
+	return lns, nil
+}
+
+// bind sets up the listeners. With both handlers present, UDP and TCP
+// share one port (the authoritative-server shape); an ephemeral port
+// that cannot be paired is retried with a fresh one.
+func (s *Server) bind(addr string) error {
+	switch {
+	case s.opts.Packet != nil && s.opts.Stream != nil:
+		var lastErr error
+		for attempt := 0; attempt < 16; attempt++ {
+			conns, shared, err := listenUDPShards(addr, s.opts.Listeners)
+			if err != nil {
+				return err
+			}
+			port := conns[0].LocalAddr().String()
+			ln, err := net.Listen("tcp", port)
+			if err != nil {
+				for _, c := range conns {
+					c.Close()
+				}
+				lastErr = err
+				if !hasEphemeralPort(addr) {
+					return err
+				}
+				continue
+			}
+			s.udpConns, s.sharedUDP, s.tcpLn = conns, shared, ln
+			s.addr = port
+			return nil
+		}
+		return fmt.Errorf("serve: no UDP/TCP port pair available: %w", lastErr)
+	case s.opts.Packet != nil:
+		conns, shared, err := listenUDPShards(addr, s.opts.Listeners)
+		if err != nil {
+			return err
+		}
+		s.udpConns, s.sharedUDP = conns, shared
+		s.addr = conns[0].LocalAddr().String()
+		return nil
+	default:
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return err
+		}
+		s.tcpLn = ln
+		s.addr = ln.Addr().String()
+		return nil
+	}
+}
+
+// listenUDPShards binds n UDP sockets to addr. Where SO_REUSEPORT is
+// available each shard gets its own socket (and the kernel spreads
+// flows across them); otherwise all shards read one shared socket,
+// which still overlaps handler work with socket waits.
+func listenUDPShards(addr string, n int) ([]*net.UDPConn, bool, error) {
+	if n == 1 || !batchio.ReusePortAvailable {
+		uaddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, false, err
+		}
+		c, err := net.ListenUDP("udp", uaddr)
+		if err != nil {
+			return nil, false, err
+		}
+		return []*net.UDPConn{c}, n > 1, nil
+	}
+	conns := make([]*net.UDPConn, 0, n)
+	first, err := batchio.ListenUDPReusePort(addr)
+	if err != nil {
+		return nil, false, err
+	}
+	conns = append(conns, first)
+	bound := first.LocalAddr().String()
+	for i := 1; i < n; i++ {
+		c, err := batchio.ListenUDPReusePort(bound)
+		if err != nil {
+			// REUSEPORT bind raced (or is restricted); fall back to the
+			// shared-socket layout on what we have.
+			for _, cc := range conns[1:] {
+				cc.Close()
+			}
+			return conns[:1], true, nil
+		}
+		conns = append(conns, c)
+	}
+	return conns, false, nil
+}
+
+func hasEphemeralPort(addr string) bool {
+	_, port, err := net.SplitHostPort(addr)
+	return err == nil && (port == "0" || port == "")
+}
+
+// start launches the intake loops.
+func (s *Server) start() {
+	for i := 0; i < s.opts.Listeners; i++ {
+		if s.opts.Packet != nil {
+			conn := s.udpConns[0]
+			if !s.sharedUDP && i < len(s.udpConns) {
+				conn = s.udpConns[i]
+			}
+			s.wg.Add(1)
+			go s.packetLoop(i, conn)
+		}
+		if s.opts.Stream != nil {
+			s.wg.Add(1)
+			go s.acceptLoop()
+		}
+	}
+}
+
+// Addr returns the bound address ("" before a successful bind). With
+// both handlers the UDP and TCP listeners share this address.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.addr
+}
+
+// Serve blocks until ctx is cancelled or Shutdown/Close is called
+// elsewhere, then waits for the drain to complete. Cancelling ctx
+// triggers a full graceful drain (intake stops immediately; in-flight
+// queries finish). It returns nil after a clean shutdown.
+func (s *Server) Serve(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return s.Shutdown(context.Background())
+	case <-s.shutdownCh:
+		<-s.finished
+		return nil
+	}
+}
+
+// Shutdown gracefully stops the server: intake stops at once, then
+// in-flight queries (the batch being answered, queued dispatch work,
+// the frame a stream connection is serving) run to completion and
+// their responses are written. If ctx expires first, query contexts
+// are cancelled and every socket is force-closed; Shutdown then still
+// waits for the loops to unwind before returning ctx.Err(). Shutdown
+// is idempotent and safe to call from any goroutine.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginShutdown()
+	select {
+	case <-s.finished:
+	case <-ctx.Done():
+		s.forceClose()
+		<-s.finished
+		s.closeListeners()
+		return ctx.Err()
+	}
+	s.closeListeners()
+	return nil
+}
+
+// Close force-stops the server without draining: query contexts are
+// cancelled, sockets and connections close immediately, and Close
+// waits for the loops to unwind. Prefer Shutdown.
+func (s *Server) Close() error {
+	s.beginShutdown()
+	s.forceClose()
+	<-s.finished
+	s.closeListeners()
+	return s.closeErr
+}
+
+// beginShutdown flips the server into draining mode and wakes every
+// blocked intake point without closing the sockets the in-flight
+// responses still need.
+func (s *Server) beginShutdown() {
+	s.shutdownOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.shutdownCh)
+		past := time.Unix(1, 0)
+		for _, c := range s.udpConns {
+			c.SetReadDeadline(past)
+		}
+		if s.tcpLn != nil {
+			s.tcpLn.Close()
+		}
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.SetReadDeadline(past)
+		}
+		s.connMu.Unlock()
+	})
+	s.waitOnce.Do(func() {
+		go func() {
+			s.wg.Wait()
+			close(s.finished)
+		}()
+	})
+}
+
+// forceClose abandons the drain: cancel in-flight handler contexts and
+// close everything.
+func (s *Server) forceClose() {
+	s.cancelAll()
+	s.closeListeners()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+}
+
+func (s *Server) closeListeners() {
+	s.closeOnce.Do(func() {
+		var err error
+		for _, c := range s.udpConns {
+			err = errors.Join(err, ignoreClosed(c.Close()))
+		}
+		if s.tcpLn != nil {
+			err = errors.Join(err, ignoreClosed(s.tcpLn.Close()))
+		}
+		s.closeErr = err
+	})
+}
+
+func ignoreClosed(err error) error {
+	if errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// queryContext derives the per-query context. Without a QueryTimeout
+// the base context is shared, so the inline fast path creates no
+// per-packet timer or allocation.
+func (s *Server) queryContext() (context.Context, context.CancelFunc) {
+	if s.opts.QueryTimeout > 0 {
+		return context.WithTimeout(s.baseCtx, s.opts.QueryTimeout)
+	}
+	return s.baseCtx, nil
+}
+
+func (s *Server) registerConn(c net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) unregisterConn(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"repro/internal/dnsclient"
+	"repro/internal/dnswire"
+)
+
+// acceptLoop accepts stream connections. Options.Listeners of these
+// run in parallel on the shared listener so a connection storm is not
+// serialised behind a single accept goroutine.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	errStreak := 0
+	for {
+		conn, err := s.tcpLn.Accept()
+		if err != nil {
+			if s.draining.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if errStreak++; errStreak > 100 {
+				s.logf("serve: accept failing persistently, stopping listener: %v", err)
+				return
+			}
+			s.logf("serve: accept: %v", err)
+			continue
+		}
+		errStreak = 0
+		s.metrics.streams.Inc()
+		if !s.registerConn(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go s.connLoop(conn)
+	}
+}
+
+// connLoop serves one framed TCP/TLS connection: read a 2-byte-length
+// frame, hand the payload to the StreamHandler, write the framed
+// response. The read buffer, the response buffer, and (when the
+// response fits the scratch) the frame itself live for the whole
+// connection, so a busy client costs one allocation set, not one per
+// query. A handler refusal (nil response or error) closes the
+// connection, like a DNS server dropping an unparseable stream.
+func (s *Server) connLoop(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.unregisterConn(conn)
+	defer conn.Close()
+	rd := dnswire.GetBuffer()
+	defer dnswire.PutBuffer(rd)
+	wr := dnswire.GetBuffer()
+	defer dnswire.PutBuffer(wr)
+	for {
+		if s.draining.Load() {
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(s.opts.StreamIdleTimeout))
+		raw, err := dnsclient.ReadTCPMessageBuf(conn, rd.B[:0])
+		if err != nil {
+			return
+		}
+		rd.B = raw
+		s.metrics.streamQs.Inc()
+		// The handler appends its response after a 2-byte hole reserved
+		// for the length prefix, so frame and payload go out in one
+		// write (one TLS record on DoT) on the common path.
+		wr.Grow(512)
+		buf := wr.B[:cap(wr.B)]
+		ctx, cancel := s.queryContext()
+		msg, err := s.opts.Stream.ServeMessage(ctx, buf[2:2], raw, conn.RemoteAddr())
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil || len(msg) == 0 || len(msg) > 0xffff {
+			if err != nil {
+				s.logf("serve: stream handler: %v", err)
+			}
+			s.metrics.dropped.Inc()
+			return
+		}
+		if &msg[0] == &buf[2] {
+			frame := buf[:2+len(msg)]
+			frame[0], frame[1] = byte(len(msg)>>8), byte(len(msg))
+			wr.B = frame
+			if _, err := conn.Write(frame); err != nil {
+				return
+			}
+		} else {
+			// The response outgrew the scratch; frame it in two writes
+			// and leave the oversized slice to the garbage collector.
+			hdr := [2]byte{byte(len(msg) >> 8), byte(len(msg))}
+			if _, err := conn.Write(hdr[:]); err != nil {
+				return
+			}
+			if _, err := conn.Write(msg); err != nil {
+				return
+			}
+		}
+	}
+}
