@@ -45,6 +45,8 @@ func main() {
 	attemptTimeout := flag.Duration("attempt-timeout", 0, "per-attempt timeout inside the retry loop (0 disables)")
 	breaker := flag.Int("breaker", 0, "circuit breaker: short-circuit after this many consecutive failures, probing every 30s (0 disables)")
 	cacheSize := flag.Int("cache", 0, "client-side answer cache entries; with -n the same name repeats so later queries hit warm (0 disables)")
+	staleTTL := flag.Duration("stale-ttl", 0, "client cache: serve expired entries for this window while refreshing in the background (RFC 8767)")
+	prefetch := flag.Duration("prefetch", 0, "client cache: refresh popular entries whose remaining TTL drops below this horizon")
 	dumpMetrics := flag.Bool("metrics", false, "dump the metrics registry (text exposition format) to stderr on exit")
 	flag.Parse()
 
@@ -131,7 +133,11 @@ func main() {
 	}
 	var answers *cache.Cache
 	if *cacheSize > 0 {
-		answers = cache.New(cache.Config{MaxEntries: *cacheSize})
+		answers = cache.New(cache.Config{
+			MaxEntries:        *cacheSize,
+			StaleTTL:          *staleTTL,
+			PrefetchThreshold: *prefetch,
+		})
 		pol.Cache = answers
 		if *dumpMetrics {
 			answers.Instrument(reg, "cache")
@@ -162,9 +168,14 @@ func main() {
 			snap.Attempts, snap.Retries, snap.Hedges, snap.Failures)
 	}
 	if answers != nil {
+		answers.Wait() // drain background refreshes before reporting
 		st := answers.Stats()
-		fmt.Printf(";; cache: %d hits (%d negative) / %d misses, %d entries\n",
-			st.Hits, st.NegativeHits, st.Misses, answers.Len())
+		fmt.Printf(";; cache: %d hits (%d negative, %d stale) / %d misses, %d entries\n",
+			st.Hits, st.NegativeHits, st.StaleHits, st.Misses, answers.Len())
+		if st.Refreshes+st.RefreshFails+st.Prefetches > 0 {
+			fmt.Printf(";; cache refresh: %d ok / %d failed, %d prefetches\n",
+				st.Refreshes, st.RefreshFails, st.Prefetches)
+		}
 	}
 	if *dumpMetrics {
 		resolver.PublishPolicyMetrics(reg, kind, metrics)
@@ -190,7 +201,11 @@ func printTiming(i int, t resolver.Timing) {
 	for _, k := range keys {
 		fmt.Printf(" %s=%v", k, b[k].Round(time.Microsecond))
 	}
-	fmt.Printf(" attempts=%d reused=%v\n", t.Attempts, t.Reused)
+	fmt.Printf(" attempts=%d reused=%v", t.Attempts, t.Reused)
+	if t.Stale {
+		fmt.Print(" stale=true")
+	}
+	fmt.Println()
 }
 
 func fatal(err error) {

@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/dnswire"
 	"repro/internal/dohserver"
 	"repro/internal/dot"
@@ -38,13 +39,21 @@ func main() {
 	dotListen := flag.String("dot", "", "also serve DNS-over-TLS on this address (e.g. 127.0.0.1:8853)")
 	metrics := flag.Bool("metrics", true, "expose the /metrics text endpoint")
 	cacheSize := flag.Int("cache", 65536, "answer cache entries")
+	staleTTL := flag.Duration("stale-ttl", 0, "serve expired entries for this window while refreshing in the background (RFC 8767; 0 disables)")
+	prefetch := flag.Duration("prefetch", 0, "refresh popular entries whose remaining TTL drops below this horizon (0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
 	// The resolver runs on the shared sharded cache (internal/cache);
-	// its hit/miss/eviction counters land on /metrics as cache_*_total.
-	answerCache := recursive.NewCache(*cacheSize, nil)
+	// its hit/miss/eviction counters land on /metrics as cache_*_total,
+	// and the serve-stale/prefetch counters as cache_stale_served_total,
+	// cache_prefetch_total, and cache_refresh_fail_total.
+	answerCache := recursive.WrapCache(cache.New(cache.Config{
+		MaxEntries:        *cacheSize,
+		StaleTTL:          *staleTTL,
+		PrefetchThreshold: *prefetch,
+	}))
 	answerCache.Unwrap().Instrument(reg, "cache")
 	res := recursive.New(answerCache)
 	// Forwarding runs on the unified resolver API: Do53 transport with
@@ -123,6 +132,11 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
+	answerCache.Unwrap().Wait() // drain background refreshes
+	if st := answerCache.Unwrap().Stats(); *staleTTL > 0 || *prefetch > 0 {
+		fmt.Printf("dohsrv: cache %d stale served, refresh %d ok / %d failed, %d prefetches\n",
+			st.StaleHits, st.Refreshes, st.RefreshFails, st.Prefetches)
+	}
 	fmt.Println("dohsrv: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

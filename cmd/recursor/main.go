@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/dnswire"
 	"repro/internal/recursive"
 	"repro/internal/resolver"
@@ -45,6 +46,8 @@ func main() {
 	roots := flag.String("roots", "", "iterative mode: comma-separated root server addresses")
 	zones := flag.String("zone", "", "comma-separated zone=addr overrides routed past the default upstream")
 	cacheSize := flag.Int("cache", 65536, "cache entries")
+	staleTTL := flag.Duration("stale-ttl", 0, "serve expired entries for this window while refreshing in the background (RFC 8767; 0 disables)")
+	prefetch := flag.Duration("prefetch", 0, "refresh popular entries whose remaining TTL drops below this horizon (0 disables)")
 	minimize := flag.Bool("minimize", false, "QNAME minimization (RFC 7816) in iterative mode")
 	attempts := flag.Int("upstream-attempts", 2, "max attempts per upstream query (retries on timeout/drop)")
 	upstreamTimeout := flag.Duration("upstream-timeout", 3*time.Second, "per-attempt upstream timeout")
@@ -58,7 +61,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := recursive.New(recursive.NewCache(*cacheSize, nil))
+	res := recursive.New(recursive.WrapCache(cache.New(cache.Config{
+		MaxEntries:        *cacheSize,
+		StaleTTL:          *staleTTL,
+		PrefetchThreshold: *prefetch,
+	})))
 	switch {
 	case *roots != "":
 		res.SetDefault(&recursive.Iterative{
@@ -94,9 +101,14 @@ func main() {
 	defer stop()
 	<-ctx.Done()
 	stop()
+	res.Cache().Unwrap().Wait() // drain background refreshes before reporting
 	st := res.Cache().Unwrap().Stats()
-	fmt.Printf("recursor: cache %d hits (%d negative) / %d misses, %d evictions, shutting down\n",
-		st.Hits, st.NegativeHits, st.Misses, st.Evictions)
+	fmt.Printf("recursor: cache %d hits (%d negative, %d stale) / %d misses, %d evictions, shutting down\n",
+		st.Hits, st.NegativeHits, st.StaleHits, st.Misses, st.Evictions)
+	if *staleTTL > 0 || *prefetch > 0 {
+		fmt.Printf("recursor: refresh %d ok / %d failed, %d prefetches\n",
+			st.Refreshes, st.RefreshFails, st.Prefetches)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -24,6 +24,28 @@ func TestWarmHitAllocationFree(t *testing.T) {
 	}
 }
 
+// TestWarmHitAllocationFreeWithStale pins the same 0-alloc guarantee
+// with serve-stale and prefetch enabled: the fresh warm-hit fast path
+// must not pay for the stale machinery. (Stale hits themselves copy
+// and may allocate — that is by design.)
+func TestWarmHitAllocationFreeWithStale(t *testing.T) {
+	clk := &virtualClock{now: time.Unix(1000, 0)}
+	c := New(Config{
+		Clock:             clk.Now,
+		StaleTTL:          time.Hour,
+		PrefetchThreshold: 10 * time.Second,
+	})
+	name := dnswire.Name("warm.example.")
+	c.Put(name, dnswire.TypeA, answer(name, 300))
+	if n := testing.AllocsPerRun(1000, func() {
+		if c.Get(name, dnswire.TypeA) == nil {
+			t.Fatal("warm entry missed")
+		}
+	}); n != 0 {
+		t.Errorf("warm Get with stale config allocates %.1f per op, want 0", n)
+	}
+}
+
 func BenchmarkCacheHit(b *testing.B) {
 	c, _ := newTestCache(0)
 	name := dnswire.Name("warm.example.")
@@ -51,6 +73,24 @@ func BenchmarkCacheHitParallel(b *testing.B) {
 		for pb.Next() {
 			c.Get(names[i&63], dnswire.TypeA)
 			i++
+		}
+	})
+}
+
+// BenchmarkCacheHitParallelHotKey hammers a single key from every P:
+// the worst case for lock contention. With the RW-lock + atomic
+// recency path, hits share the read lock instead of serializing on an
+// exclusive mutex per hit.
+func BenchmarkCacheHitParallelHotKey(b *testing.B) {
+	c, _ := newTestCache(0)
+	name := dnswire.Name("hot.example.")
+	c.Put(name, dnswire.TypeA, answer(name, 300))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if c.Get(name, dnswire.TypeA) == nil {
+				b.Fatal("hot entry missed")
+			}
 		}
 	})
 }

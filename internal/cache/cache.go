@@ -7,26 +7,45 @@
 // Design:
 //
 //   - Power-of-two sharding: the (name, type) key is FNV-1a hashed to
-//     a shard, each shard holding its own mutex, hash map, and LRU
+//     a shard, each shard holding its own RWMutex, hash map, and LRU
 //     list, so concurrent resolvers do not serialize on one lock.
+//   - Lock-free-ish hits: the hit path takes only the shard's read
+//     lock and records recency/popularity in per-entry atomics; the
+//     LRU list is never touched on a hit. Eviction uses the classic
+//     second-chance (CLOCK) scan over those atomic reference bits, so
+//     read-heavy workloads scale across cores instead of convoying on
+//     a mutex per lookup.
 //   - TTL awareness: positive answers live for the minimum answer TTL
 //     and are served with aged TTLs; negative answers (NXDOMAIN and
 //     NoData) are cached for the SOA MINIMUM per RFC 2308.
+//   - Serve-stale (RFC 8767): with Config.StaleTTL set, expired
+//     entries are retained for the stale window and served (TTLs
+//     capped at Config.StaleTTLCap) while a detached singleflight
+//     refresh repopulates the entry in the background — a dead
+//     upstream degrades to stale answers instead of errors.
+//   - Prefetch: with Config.PrefetchThreshold set, popular entries
+//     (per-entry hit count >= Config.PrefetchMinHits) are refreshed
+//     in the background before they expire, keeping hot names on the
+//     warm path even as TTLs run out. See stale.go.
 //   - Singleflight: Do collapses concurrent misses for the same key
 //     into one upstream resolution that every waiter shares — the
 //     query-coalescing behaviour production resolvers use to survive
 //     request storms.
-//   - Allocation-free warm hits: a hit younger than one second returns
-//     the stored message without copying (TTLs need no aging yet), so
-//     the warm path stays 0 allocs/op like the obs hot path
+//   - Allocation-free warm hits: a fresh hit younger than one second
+//     returns the stored message without copying (TTLs need no aging
+//     yet), so the warm path stays 0 allocs/op like the obs hot path
 //     (BenchmarkCacheHit pins this). Callers must treat returned
 //     messages as read-only; copy the struct before stamping headers.
+//     Stale hits always copy (their TTLs must be capped), so only
+//     they may allocate.
 //
 // Determinism: given the same sequence of Get/Put calls the cache's
 // contents and counters are a pure function of that sequence — there
 // is no background sweeper, wall-clock sampling, or random eviction —
 // so campaigns that thread a cache through their measurement loop
-// stay byte-identical under equal seeds.
+// stay byte-identical under equal seeds. Background refreshes are the
+// one asynchronous element; Config.SyncRefresh runs them inline for
+// virtual-time studies that need that purity back.
 package cache
 
 import (
@@ -52,17 +71,51 @@ type Config struct {
 	// Clock overrides the time source (tests, virtual-time studies).
 	// Nil means time.Now.
 	Clock func() time.Time
+
+	// StaleTTL, when positive, enables RFC 8767 serve-stale: expired
+	// entries are retained for this window past expiry and served
+	// stale (TTLs capped at StaleTTLCap) while a background refresh
+	// repopulates them. Zero keeps the classic expiry-means-miss
+	// lifecycle.
+	StaleTTL time.Duration
+	// StaleTTLCap caps, in seconds, the TTL stamped on stale answers
+	// (default 30, the RFC 8767 §4 recommendation).
+	StaleTTLCap uint32
+	// PrefetchThreshold, when positive, enables popularity-driven
+	// prefetch: a fresh hit whose remaining TTL is below the
+	// threshold and whose entry has accumulated at least
+	// PrefetchMinHits hits since insertion triggers a background
+	// refresh before the entry expires.
+	PrefetchThreshold time.Duration
+	// PrefetchMinHits is the popularity floor for prefetch (default
+	// 3): one-hit wonders are not worth refreshing forever.
+	PrefetchMinHits int64
+	// RefreshTimeout bounds one background refresh (default 5s). The
+	// refresh context is detached from any foreground caller.
+	RefreshTimeout time.Duration
+	// RefreshBackoff is the minimum spacing between refresh attempts
+	// for a key after a failed refresh (default 1s), so a dead
+	// upstream under a stale-hit storm is not hammered.
+	RefreshBackoff time.Duration
+	// SyncRefresh runs refreshes inline on the triggering Get instead
+	// of on a goroutine — deterministic mode for virtual-time studies
+	// and table-driven tests. Foreground Gets then pay the refresh
+	// cost, so leave it off in servers.
+	SyncRefresh bool
 }
 
 // Stats is a snapshot of the cache's cumulative counters.
 type Stats struct {
-	// Hits counts Gets served from a live entry.
+	// Hits counts Gets served from a live (fresh) entry.
 	Hits int64
-	// Misses counts Gets that found nothing (or only an expired entry).
+	// Misses counts Gets that found nothing (or only a dead entry).
 	Misses int64
 	// NegativeHits counts the subset of Hits served from an RFC 2308
 	// negative entry (also included in Hits).
 	NegativeHits int64
+	// StaleHits counts Gets served from an expired entry inside the
+	// serve-stale window (not included in Hits).
+	StaleHits int64
 	// Evictions counts entries removed by the capacity bound (expired
 	// entries removed on access are not evictions).
 	Evictions int64
@@ -71,6 +124,16 @@ type Stats struct {
 	// SharedFlights counts Do callers that waited on another caller's
 	// in-flight resolution instead of launching their own.
 	SharedFlights int64
+	// Prefetches counts background refreshes triggered by the
+	// popularity prefetcher (before expiry).
+	Prefetches int64
+	// Refreshes counts background refreshes that repopulated their
+	// entry (stale-triggered and prefetch-triggered alike).
+	Refreshes int64
+	// RefreshFails counts background refreshes that failed (error,
+	// unusable RCode, or an uncacheable answer); the stale entry is
+	// retained and keeps serving until StaleTTL truly lapses.
+	RefreshFails int64
 }
 
 // key identifies one cached RRset.
@@ -79,7 +142,10 @@ type key struct {
 	typ  dnswire.Type
 }
 
-// entry is one cached answer.
+// entry is one cached answer. Every field except the atomics is
+// immutable after insertion — entries are replaced wholesale by Put,
+// never edited — which is what lets the hit path read them under the
+// shard's read lock only.
 type entry struct {
 	key      key
 	msg      *dnswire.Message
@@ -87,24 +153,47 @@ type entry struct {
 	expires  time.Time
 	negative bool
 	elem     *list.Element
+
+	// touched is the second-chance reference bit: set by every hit,
+	// cleared (with one reprieve) by the eviction scan.
+	touched atomic.Bool
+	// hits counts lookups served by this entry since insertion — the
+	// popularity signal the prefetcher reads. Replaced entries start
+	// from zero, so prefetch continues only while a name stays hot.
+	hits atomic.Int64
+	// refreshFailedAt is the clock's UnixNano at the last failed
+	// refresh (0 = never), spacing retry attempts by RefreshBackoff.
+	refreshFailedAt atomic.Int64
 }
 
-// shard is one lock domain: a map plus its LRU list.
+// shard is one lock domain: a map plus its LRU list. Hits take only
+// the read lock; Put, eviction, and dead-entry removal take the write
+// lock.
 type shard struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries map[key]*entry
-	lru     *list.List // front = most recently used
+	lru     *list.List // front = most recently inserted/reprieved
 	max     int
 }
 
-// Cache is a sharded, TTL-aware DNS message cache. Construct with New;
+// Cache is a sharded, TTL-aware DNS message cache with optional
+// RFC 8767 serve-stale and popularity prefetch. Construct with New;
 // all methods are safe for concurrent use.
 type Cache struct {
 	shards []shard
 	mask   uint64
 	clock  func() time.Time
 
+	staleTTL          time.Duration
+	staleCap          uint32
+	prefetchThreshold time.Duration
+	prefetchMinHits   int64
+	refreshTimeout    time.Duration
+	refreshBackoff    time.Duration
+	syncRefresh       bool
+
 	hits, misses, negHits, evictions, puts, shared atomic.Int64
+	staleHits, prefetches, refreshes, refreshFails atomic.Int64
 
 	// inst mirrors the counters into an obs registry when Instrument
 	// was called; nil otherwise. Handles are resolved once so the hot
@@ -113,13 +202,21 @@ type Cache struct {
 
 	flightMu sync.Mutex
 	inflight map[key]*flight
+
+	// refresher is the upstream fetch hook background refreshes run
+	// (see SetRefresher); refreshing dedupes them per key.
+	refresher  atomic.Pointer[Refresher]
+	refreshMu  sync.Mutex
+	refreshing map[key]struct{}
+	refreshWG  sync.WaitGroup
 }
 
 // instruments holds the registry handles Instrument resolved.
 type instruments struct {
-	hits, misses, negHits, evictions *obs.Counter
-	shared                           *obs.Counter
-	entries                          *obs.Gauge
+	hits, misses, negHits, evictions   *obs.Counter
+	shared                             *obs.Counter
+	staleServed, prefetch, refreshFail *obs.Counter
+	entries                            *obs.Gauge
 }
 
 // New creates a cache from cfg.
@@ -136,13 +233,34 @@ func New(cfg Config) *Cache {
 		shards /= 2
 	}
 	c := &Cache{
-		shards:   make([]shard, shards),
-		mask:     uint64(shards - 1),
-		clock:    cfg.Clock,
-		inflight: make(map[key]*flight),
+		shards:     make([]shard, shards),
+		mask:       uint64(shards - 1),
+		clock:      cfg.Clock,
+		inflight:   make(map[key]*flight),
+		refreshing: make(map[key]struct{}),
+
+		staleTTL:          cfg.StaleTTL,
+		staleCap:          cfg.StaleTTLCap,
+		prefetchThreshold: cfg.PrefetchThreshold,
+		prefetchMinHits:   cfg.PrefetchMinHits,
+		refreshTimeout:    cfg.RefreshTimeout,
+		refreshBackoff:    cfg.RefreshBackoff,
+		syncRefresh:       cfg.SyncRefresh,
 	}
 	if c.clock == nil {
 		c.clock = time.Now
+	}
+	if c.staleCap == 0 {
+		c.staleCap = 30 // RFC 8767 §4 recommended cap
+	}
+	if c.prefetchMinHits <= 0 {
+		c.prefetchMinHits = 3
+	}
+	if c.refreshTimeout <= 0 {
+		c.refreshTimeout = 5 * time.Second
+	}
+	if c.refreshBackoff <= 0 {
+		c.refreshBackoff = time.Second
 	}
 	// Distribute capacity so the shard maxima sum exactly to max.
 	base, rem := max/shards, max%shards
@@ -186,48 +304,105 @@ func (c *Cache) shardFor(k key) *shard {
 	return &c.shards[h&c.mask]
 }
 
-// Get returns the cached response for (name, typ), or nil on miss or
-// expiry. TTLs are aged by the whole seconds spent in cache; a hit
+// Outcome classifies one Lookup.
+type Outcome uint8
+
+const (
+	// Miss: nothing usable cached; resolve upstream.
+	Miss Outcome = iota
+	// Fresh: a live entry answered.
+	Fresh
+	// Stale: an expired entry inside the serve-stale window answered
+	// (TTLs capped); a background refresh may be repopulating it.
+	Stale
+)
+
+// Get returns the cached response for (name, typ), or nil on miss.
+// TTLs are aged by the whole seconds spent in cache; a fresh hit
 // younger than one second returns the stored message itself without
 // copying (the allocation-free warm path). Returned messages are
 // shared and must be treated as read-only — copy the struct before
 // stamping the header (see resolver.WithCache, recursive.Resolver).
+// With serve-stale enabled, Get transparently serves stale answers;
+// use Lookup when the fresh/stale distinction matters.
 func (c *Cache) Get(name dnswire.Name, typ dnswire.Type) *dnswire.Message {
+	msg, _ := c.Lookup(name, typ)
+	return msg
+}
+
+// Lookup is Get with the hit classification: (msg, Fresh) for a live
+// entry, (msg, Stale) for an expired entry inside the serve-stale
+// window (msg is a private copy with TTLs capped at StaleTTLCap, and
+// a detached background refresh is triggered), and (nil, Miss)
+// otherwise.
+func (c *Cache) Lookup(name dnswire.Name, typ dnswire.Type) (*dnswire.Message, Outcome) {
 	k := key{name.Canonical(), typ}
 	s := c.shardFor(k)
-	s.mu.Lock()
+	s.mu.RLock()
 	e, ok := s.entries[k]
 	if !ok {
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		c.countMiss()
-		return nil
+		return nil, Miss
 	}
 	now := c.clock()
-	if !now.Before(e.expires) {
-		s.removeLocked(e)
-		s.mu.Unlock()
-		c.countMiss()
-		return nil
-	}
-	s.lru.MoveToFront(e.elem)
-	msg, negative := e.msg, e.negative
-	age := now.Sub(e.inserted)
-	s.mu.Unlock()
+	if now.Before(e.expires) {
+		// Fresh hit: recency and popularity land in per-entry atomics,
+		// never the LRU list — the read lock is all a hit takes.
+		e.touched.Store(true)
+		hits := e.hits.Add(1)
+		msg, negative := e.msg, e.negative
+		age := now.Sub(e.inserted)
+		remaining := e.expires.Sub(now)
+		s.mu.RUnlock()
 
-	c.hits.Add(1)
-	if negative {
-		c.negHits.Add(1)
-	}
-	if inst := c.inst; inst != nil {
-		inst.hits.Inc()
+		c.hits.Add(1)
 		if negative {
-			inst.negHits.Inc()
+			c.negHits.Add(1)
 		}
+		if inst := c.inst; inst != nil {
+			inst.hits.Inc()
+			if negative {
+				inst.negHits.Inc()
+			}
+		}
+		if c.prefetchThreshold > 0 && remaining < c.prefetchThreshold &&
+			hits >= c.prefetchMinHits {
+			c.launchRefresh(k, e, true)
+		}
+		if age < time.Second {
+			return msg, Fresh
+		}
+		return ageTTLs(msg, age), Fresh
 	}
-	if age < time.Second {
-		return msg
+	if c.staleTTL > 0 && now.Before(e.expires.Add(c.staleTTL)) {
+		// Serve-stale (RFC 8767): the expired entry answers with
+		// capped TTLs while a detached refresh repopulates it. The
+		// serving path never blocks on that refresh.
+		e.touched.Store(true)
+		e.hits.Add(1)
+		msg := e.msg
+		s.mu.RUnlock()
+
+		c.staleHits.Add(1)
+		if inst := c.inst; inst != nil {
+			inst.staleServed.Inc()
+		}
+		c.launchRefresh(k, e, false)
+		return staleCopy(msg, c.staleCap), Stale
 	}
-	return ageTTLs(msg, age)
+	s.mu.RUnlock()
+
+	// Dead: expired past the stale window. Upgrade to the write lock
+	// to remove it (re-checking, since the entry may have been
+	// replaced or removed while unlocked).
+	s.mu.Lock()
+	if cur, ok := s.entries[k]; ok && cur == e {
+		s.removeLocked(e)
+	}
+	s.mu.Unlock()
+	c.countMiss()
+	return nil, Miss
 }
 
 func (c *Cache) countMiss() {
@@ -237,14 +412,15 @@ func (c *Cache) countMiss() {
 	}
 }
 
-// Put caches msg as the answer for (name, typ). Positive answers live
-// for the minimum answer TTL; empty answers with an SOA authority are
-// cached negatively for min(SOA TTL, SOA MINIMUM) per RFC 2308.
-// Messages with no usable TTL (or TTL 0) are not cached.
-func (c *Cache) Put(name dnswire.Name, typ dnswire.Type, msg *dnswire.Message) {
+// Put caches msg as the answer for (name, typ) and reports whether it
+// was accepted. Positive answers live for the minimum answer TTL;
+// empty answers with an SOA authority are cached negatively for
+// min(SOA TTL, SOA MINIMUM) per RFC 2308. Messages with no usable TTL
+// (or TTL 0) are not cached.
+func (c *Cache) Put(name dnswire.Name, typ dnswire.Type, msg *dnswire.Message) bool {
 	ttl, negative, ok := cacheTTL(msg)
 	if !ok || ttl <= 0 {
-		return
+		return false
 	}
 	k := key{name.Canonical(), typ}
 	s := c.shardFor(k)
@@ -262,11 +438,11 @@ func (c *Cache) Put(name dnswire.Name, typ dnswire.Type, msg *dnswire.Message) {
 	e.elem = s.lru.PushFront(e)
 	s.entries[k] = e
 	for len(s.entries) > s.max {
-		back := s.lru.Back()
-		if back == nil {
+		victim := s.secondChanceVictimLocked()
+		if victim == nil {
 			break
 		}
-		s.removeLocked(back.Value.(*entry))
+		s.removeLocked(victim)
 		evicted++
 	}
 	s.mu.Unlock()
@@ -278,6 +454,34 @@ func (c *Cache) Put(name dnswire.Name, typ dnswire.Type, msg *dnswire.Message) {
 		inst.evictions.Add(evicted)
 		inst.entries.Set(float64(c.Len()))
 	}
+	return true
+}
+
+// secondChanceVictimLocked picks the eviction victim by the CLOCK
+// algorithm: walk from the LRU tail; an entry whose reference bit is
+// set gets the bit cleared and one reprieve (moved to the front), an
+// entry whose bit is clear is the victim. Because cleared entries move
+// away from the tail, one full pass is the worst case. The caller
+// holds s.mu.
+func (s *shard) secondChanceVictimLocked() *entry {
+	for scanned := s.lru.Len(); scanned > 0; scanned-- {
+		back := s.lru.Back()
+		if back == nil {
+			return nil
+		}
+		e := back.Value.(*entry)
+		if e.touched.CompareAndSwap(true, false) {
+			s.lru.MoveToFront(back)
+			continue
+		}
+		return e
+	}
+	// Every entry was referenced this cycle: the tail (whose bit was
+	// cleared first) is the victim.
+	if back := s.lru.Back(); back != nil {
+		return back.Value.(*entry)
+	}
+	return nil
 }
 
 // removeLocked unlinks e from the shard; the caller holds s.mu.
@@ -287,14 +491,15 @@ func (s *shard) removeLocked(e *entry) {
 }
 
 // Len reports the number of live entries across all shards (including
-// expired entries not yet removed on access).
+// expired entries not yet removed on access, and stale entries still
+// inside their serve-stale window).
 func (c *Cache) Len() int {
 	n := 0
 	for i := range c.shards {
 		s := &c.shards[i]
-		s.mu.Lock()
+		s.mu.RLock()
 		n += len(s.entries)
-		s.mu.Unlock()
+		s.mu.RUnlock()
 	}
 	return n
 }
@@ -305,28 +510,36 @@ func (c *Cache) Stats() Stats {
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),
 		NegativeHits:  c.negHits.Load(),
+		StaleHits:     c.staleHits.Load(),
 		Evictions:     c.evictions.Load(),
 		Puts:          c.puts.Load(),
 		SharedFlights: c.shared.Load(),
+		Prefetches:    c.prefetches.Load(),
+		Refreshes:     c.refreshes.Load(),
+		RefreshFails:  c.refreshFails.Load(),
 	}
 }
 
 // Instrument mirrors the cache's counters into reg under
-// <prefix>_{hits,misses,negative_hits,evictions,singleflight_shared}_total
-// plus a <prefix>_entries gauge. An empty prefix uses "cache". Call it
-// once, before the cache is shared; handles are resolved here so the
-// hot path stays allocation-free.
+// <prefix>_{hits,misses,negative_hits,evictions,singleflight_shared,
+// stale_served,prefetch,refresh_fail}_total plus a <prefix>_entries
+// gauge. An empty prefix uses "cache". Call it once, before the cache
+// is shared; handles are resolved here so the hot path stays
+// allocation-free.
 func (c *Cache) Instrument(reg *obs.Registry, prefix string) {
 	if prefix == "" {
 		prefix = "cache"
 	}
 	c.inst = &instruments{
-		hits:      reg.Counter(prefix + "_hits_total"),
-		misses:    reg.Counter(prefix + "_misses_total"),
-		negHits:   reg.Counter(prefix + "_negative_hits_total"),
-		evictions: reg.Counter(prefix + "_evictions_total"),
-		shared:    reg.Counter(prefix + "_singleflight_shared_total"),
-		entries:   reg.Gauge(prefix + "_entries"),
+		hits:        reg.Counter(prefix + "_hits_total"),
+		misses:      reg.Counter(prefix + "_misses_total"),
+		negHits:     reg.Counter(prefix + "_negative_hits_total"),
+		evictions:   reg.Counter(prefix + "_evictions_total"),
+		shared:      reg.Counter(prefix + "_singleflight_shared_total"),
+		staleServed: reg.Counter(prefix + "_stale_served_total"),
+		prefetch:    reg.Counter(prefix + "_prefetch_total"),
+		refreshFail: reg.Counter(prefix + "_refresh_fail_total"),
+		entries:     reg.Gauge(prefix + "_entries"),
 	}
 }
 
@@ -377,6 +590,31 @@ func ageSection(rrs []dnswire.ResourceRecord, dec uint32) []dnswire.ResourceReco
 			out[i].TTL -= dec
 		} else {
 			out[i].TTL = 0
+		}
+	}
+	return out
+}
+
+// staleCopy returns a copy of msg with every TTL capped at cap — the
+// RFC 8767 §4 shape of a stale answer (never resurrect the original
+// TTL; tell downstream caches the data is on borrowed time).
+func staleCopy(msg *dnswire.Message, cap uint32) *dnswire.Message {
+	out := *msg
+	out.Answers = capSection(msg.Answers, cap)
+	out.Authorities = capSection(msg.Authorities, cap)
+	out.Additionals = capSection(msg.Additionals, cap)
+	return &out
+}
+
+func capSection(rrs []dnswire.ResourceRecord, cap uint32) []dnswire.ResourceRecord {
+	if len(rrs) == 0 {
+		return nil
+	}
+	out := make([]dnswire.ResourceRecord, len(rrs))
+	copy(out, rrs)
+	for i := range out {
+		if out[i].TTL > cap {
+			out[i].TTL = cap
 		}
 	}
 	return out

@@ -13,6 +13,7 @@
 package cachestudy
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -51,6 +52,15 @@ type Config struct {
 	// Provider is the DoH service used for the centralized
 	// architecture (its anycast routing decides cache sharing).
 	Provider anycast.ProviderID
+	// StaleTTL, when positive, adds a second pair of runs with
+	// RFC 8767 serve-stale enabled: expired entries answer at hit cost
+	// while a (virtual-time synchronous) background refresh
+	// repopulates them. Zero keeps the classic two-run study.
+	StaleTTL time.Duration
+	// PrefetchThreshold is the popularity-prefetch horizon for the
+	// serve-stale runs (see cache.Config.PrefetchThreshold). Only
+	// meaningful with StaleTTL set.
+	PrefetchThreshold time.Duration
 }
 
 // DefaultConfig returns a medium-size workload.
@@ -71,22 +81,36 @@ func DefaultConfig(seed int64) Config {
 
 // Result summarizes one architecture.
 type Result struct {
-	// Architecture is "do53-distributed" or "doh-centralized".
+	// Architecture is "do53-distributed" or "doh-centralized", with a
+	// "+stale" suffix on the serve-stale variants.
 	Architecture string
 	// Queries is the workload size.
 	Queries int
-	// HitRatio is cache hits / queries.
+	// HitRatio is cache hits / queries (fresh and stale both count:
+	// either way the client was answered from the cache).
 	HitRatio float64
+	// StaleRatio is stale-served answers / queries (zero unless the
+	// run had serve-stale enabled).
+	StaleRatio float64
 	// MeanMs and MedianMs are effective resolution latencies
-	// including cache effects.
-	MeanMs, MedianMs float64
+	// including cache effects; P95Ms and P99Ms capture the tail the
+	// paper cares about — serve-stale's whole purpose is flattening
+	// the miss spikes out of it.
+	MeanMs, MedianMs, P95Ms, P99Ms float64
+	// Prefetches counts popularity-driven refreshes across the run's
+	// caches.
+	Prefetches int64
 	// Caches is the number of independent cache instances.
 	Caches int
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%-18s caches=%3d hit=%5.1f%% mean=%6.1fms median=%6.1fms",
-		r.Architecture, r.Caches, 100*r.HitRatio, r.MeanMs, r.MedianMs)
+	s := fmt.Sprintf("%-24s caches=%3d hit=%5.1f%% mean=%6.1fms median=%6.1fms p95=%6.1fms p99=%6.1fms",
+		r.Architecture, r.Caches, 100*r.HitRatio, r.MeanMs, r.MedianMs, r.P95Ms, r.P99Ms)
+	if r.StaleRatio > 0 || r.Prefetches > 0 {
+		s += fmt.Sprintf(" stale=%4.1f%% prefetch=%d", 100*r.StaleRatio, r.Prefetches)
+	}
+	return s
 }
 
 // Run replays the workload against both architectures and returns the
@@ -183,7 +207,7 @@ func Run(cfg Config) ([]Result, error) {
 		return m
 	}
 
-	run := func(centralized bool) Result {
+	run := func(centralized, stale bool) Result {
 		// Virtual clock shared by every cache in this run.
 		var now time.Duration
 		clock := func() time.Time { return time.Unix(0, 0).Add(now) }
@@ -191,7 +215,22 @@ func Run(cfg Config) ([]Result, error) {
 		caches := map[string]*cache.Cache{}
 		cacheFor := func(key string) *cache.Cache {
 			if c, ok := caches[key]; !ok {
-				c = cache.New(cache.Config{MaxEntries: 1 << 16, Clock: clock})
+				ccfg := cache.Config{MaxEntries: 1 << 16, Clock: clock}
+				if stale {
+					// SyncRefresh keeps the study deterministic: the
+					// refresh runs inline under the virtual clock, but
+					// its upstream cost is not charged to the client —
+					// that is the whole point of serve-stale.
+					ccfg.StaleTTL = cfg.StaleTTL
+					ccfg.PrefetchThreshold = cfg.PrefetchThreshold
+					ccfg.SyncRefresh = true
+				}
+				c = cache.New(ccfg)
+				if stale {
+					c.SetRefresher(func(_ context.Context, name dnswire.Name, _ dnswire.Type) (*dnswire.Message, error) {
+						return answer(name), nil
+					})
+				}
 				caches[key] = c
 				return c
 			} else {
@@ -200,7 +239,7 @@ func Run(cfg Config) ([]Result, error) {
 		}
 		runRng := rand.New(rand.NewSource(cfg.Seed + 7))
 		var latencies []float64
-		hits := 0
+		hits, stales := 0, 0
 		for _, q := range workload {
 			now = q.at
 			cl := clients[q.clientIdx]
@@ -219,8 +258,11 @@ func Run(cfg Config) ([]Result, error) {
 			}
 			store := cacheFor(cacheKey)
 			lat := model.RTT(runRng, cl.endpoint, frontEP)
-			if store.Get(name, dnswire.TypeA) != nil {
+			if msg, outcome := store.Lookup(name, dnswire.TypeA); msg != nil {
 				hits++
+				if outcome == cache.Stale {
+					stales++
+				}
 			} else {
 				lat += missExtra + model.RTT(runRng, frontEP, auth)
 				store.Put(name, dnswire.TypeA, answer(name))
@@ -231,21 +273,43 @@ func Run(cfg Config) ([]Result, error) {
 		if centralized {
 			arch = "doh-centralized"
 		}
+		if stale {
+			arch += "+stale"
+		}
 		sort.Float64s(latencies)
 		mean := 0.0
 		for _, l := range latencies {
 			mean += l
 		}
 		mean /= float64(len(latencies))
+		var prefetches int64
+		for _, c := range caches {
+			prefetches += c.Stats().Prefetches
+		}
+		quantile := func(p float64) float64 {
+			i := int(p * float64(len(latencies)))
+			if i >= len(latencies) {
+				i = len(latencies) - 1
+			}
+			return latencies[i]
+		}
 		return Result{
 			Architecture: arch,
 			Queries:      len(workload),
 			HitRatio:     float64(hits) / float64(len(workload)),
+			StaleRatio:   float64(stales) / float64(len(workload)),
 			MeanMs:       mean,
 			MedianMs:     latencies[len(latencies)/2],
+			P95Ms:        quantile(0.95),
+			P99Ms:        quantile(0.99),
+			Prefetches:   prefetches,
 			Caches:       len(caches),
 		}
 	}
 
-	return []Result{run(false), run(true)}, nil
+	results := []Result{run(false, false), run(true, false)}
+	if cfg.StaleTTL > 0 || cfg.PrefetchThreshold > 0 {
+		results = append(results, run(false, true), run(true, true))
+	}
+	return results, nil
 }

@@ -175,3 +175,44 @@ func TestWorkloadSpanDefaulted(t *testing.T) {
 	}
 	_ = time.Second
 }
+
+func TestServeStaleVariantsFlattenTheTail(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.StaleTTL = time.Hour
+	cfg.PrefetchThreshold = 30 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("results = %d, want 4 (baseline pair + stale pair)", len(res))
+	}
+	if res[2].Architecture != "do53-distributed+stale" || res[3].Architecture != "doh-centralized+stale" {
+		t.Fatalf("stale architectures = %s / %s", res[2].Architecture, res[3].Architecture)
+	}
+	for i := 0; i < 2; i++ {
+		base, stale := res[i], res[i+2]
+		if stale.HitRatio < base.HitRatio {
+			t.Errorf("%s: stale hit ratio %.3f < baseline %.3f", stale.Architecture, stale.HitRatio, base.HitRatio)
+		}
+		if stale.StaleRatio <= 0 {
+			t.Errorf("%s: no stale serves recorded", stale.Architecture)
+		}
+		if stale.MeanMs >= base.MeanMs {
+			t.Errorf("%s: stale mean %.1fms not below baseline %.1fms", stale.Architecture, stale.MeanMs, base.MeanMs)
+		}
+		if base.StaleRatio != 0 || base.Prefetches != 0 {
+			t.Errorf("%s: baseline leaked stale stats: %+v", base.Architecture, base)
+		}
+	}
+	// Determinism holds for the extended study too.
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i] != res2[i] {
+			t.Fatalf("stale study not deterministic at %d: %+v vs %+v", i, res[i], res2[i])
+		}
+	}
+}

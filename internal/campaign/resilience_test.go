@@ -4,9 +4,16 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/anycast"
+	"repro/internal/cache"
+	"repro/internal/dnswire"
 	"repro/internal/proxynet"
 	"repro/internal/resolver"
 )
@@ -303,5 +310,95 @@ func TestRunContextPreCanceled(t *testing.T) {
 	}
 	if len(ds.Clients) != 0 {
 		t.Errorf("pre-canceled run measured %d clients", len(ds.Clients))
+	}
+}
+
+// TestChaosSoakServesStale is the serve-stale degradation contract the
+// ISSUE-7 acceptance criteria pin: kill the upstream entirely and a
+// stale-enabled cache keeps answering expired entries — >=99% of
+// queries inside the StaleTTL window come back stale, none error —
+// then failures resume honestly once the window lapses. The name
+// keeps it inside the tier-1 `-run TestChaosSoak` race gate.
+func TestChaosSoakServesStale(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(40000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	dead := atomic.Bool{}
+	upstream := resolver.Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, resolver.Timing, error) {
+		if dead.Load() {
+			return nil, resolver.Timing{}, errors.New("upstream killed")
+		}
+		resp := q.Reply()
+		qu := q.Questions[0]
+		resp.Answers = append(resp.Answers, dnswire.ResourceRecord{
+			Name: qu.Name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60,
+			Data: dnswire.ARecord{Addr: netip.MustParseAddr("192.0.2.53")},
+		})
+		return resp, resolver.Timing{Attempts: 1}, nil
+	})
+	c := cache.New(cache.Config{MaxEntries: 4096, Clock: clock, StaleTTL: time.Hour})
+	r := resolver.WithCache(upstream, c, nil, resolver.DoH)
+
+	const names = 100
+	name := func(i int) dnswire.Name {
+		return dnswire.NewName(fmt.Sprintf("soak%03d.chaos.example.", i))
+	}
+	for i := 0; i < names; i++ {
+		if _, _, err := r.Resolve(context.Background(), resolver.Query(name(i), dnswire.TypeA)); err != nil {
+			t.Fatalf("warm-up %d: %v", i, err)
+		}
+	}
+
+	// Kill the upstream, expire everything, and hammer concurrently.
+	dead.Store(true)
+	advance(61 * time.Second)
+	workers := 8
+	perWorker := 200
+	if testing.Short() {
+		workers, perWorker = 4, 100
+	}
+	var queries, staleServed, errored atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				queries.Add(1)
+				resp, timing, err := r.Resolve(context.Background(), resolver.Query(name((w+i)%names), dnswire.TypeA))
+				if err != nil {
+					errored.Add(1)
+					continue
+				}
+				if timing.Stale {
+					staleServed.Add(1)
+				}
+				if len(resp.Answers) != 1 || resp.Answers[0].TTL > 30 {
+					t.Error("stale answer malformed or TTL uncapped")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Wait() // drain the (failing) background refreshes
+
+	if errored.Load() != 0 {
+		t.Errorf("%d/%d queries errored inside the StaleTTL window, want 0", errored.Load(), queries.Load())
+	}
+	if ratio := float64(staleServed.Load()) / float64(queries.Load()); ratio < 0.99 {
+		t.Errorf("stale ratio %.4f, want >= 0.99", ratio)
+	}
+	if c.Stats().RefreshFails == 0 {
+		t.Error("dead upstream produced no recorded refresh failures")
+	}
+
+	// Past the StaleTTL window the cache must stop papering over the
+	// outage: errors are surfaced again.
+	advance(2 * time.Hour)
+	if _, _, err := r.Resolve(context.Background(), resolver.Query(name(0), dnswire.TypeA)); err == nil {
+		t.Error("query past StaleTTL should fail, not serve ancient data")
 	}
 }

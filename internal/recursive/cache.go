@@ -32,6 +32,11 @@ func NewCache(max int, now func() time.Time) *Cache {
 	return &Cache{c: cache.New(cache.Config{MaxEntries: max, Clock: now})}
 }
 
+// WrapCache adopts an already-configured shared cache — the way cmds
+// enable serve-stale and prefetch (cache.Config knobs) on the recursor
+// without this veneer growing a mirror of every option.
+func WrapCache(c *cache.Cache) *Cache { return &Cache{c: c} }
+
 // Unwrap exposes the underlying shared cache for instrumentation
 // (cache.Instrument) and for reuse behind resolver.WithCache.
 func (c *Cache) Unwrap() *cache.Cache { return c.c }
@@ -43,6 +48,14 @@ func (c *Cache) Unwrap() *cache.Cache { return c.c }
 // headers.
 func (c *Cache) Get(name dnswire.Name, typ dnswire.Type) *dnswire.Message {
 	return c.c.Get(name, typ)
+}
+
+// Lookup is Get plus the freshness outcome: when the underlying cache
+// is configured with a StaleTTL, expired entries come back with
+// cache.Stale (TTLs capped, background refresh under way) instead of
+// missing.
+func (c *Cache) Lookup(name dnswire.Name, typ dnswire.Type) (*dnswire.Message, cache.Outcome) {
+	return c.c.Lookup(name, typ)
 }
 
 // Put caches msg as the answer for (name, typ). The entry lives for

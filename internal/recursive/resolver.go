@@ -79,15 +79,43 @@ type flight struct {
 }
 
 // New creates a resolver with the given cache (nil for a default one).
+// The resolver installs itself as the cache's refresher, so when the
+// cache is configured for serve-stale or prefetch, background
+// refreshes route through the same zone table as client queries.
 func New(cache *Cache) *Resolver {
 	if cache == nil {
 		cache = NewCache(0, nil)
 	}
-	return &Resolver{
+	r := &Resolver{
 		cache:    cache,
 		zones:    make(map[dnswire.Name]Upstream),
 		inflight: make(map[flightKey]*flight),
 	}
+	cache.Unwrap().SetRefresher(r.refresh)
+	return r
+}
+
+// refresh is the cache's background-refresh hook: resolve (name, typ)
+// upstream with a fresh query ID and recursor response stamps. The
+// cache itself decides whether the answer is cacheable.
+func (r *Resolver) refresh(ctx context.Context, name dnswire.Name, typ dnswire.Type) (*dnswire.Message, error) {
+	up := r.upstreamFor(name)
+	if up == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoUpstream, name)
+	}
+	if r.QueryDelay != nil {
+		if err := r.QueryDelay(ctx); err != nil {
+			return nil, err
+		}
+	}
+	q := dnswire.NewQuery(dnsclient.RandomID(), name, typ)
+	resp, err := up.Resolve(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	resp.Header.RecursionAvailable = true
+	resp.Header.Authoritative = false
+	return resp, nil
 }
 
 // Cache exposes the resolver's cache for inspection.
@@ -129,7 +157,11 @@ func (r *Resolver) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Me
 		return nil, errors.New("recursive: query has no question")
 	}
 	question := q.Questions[0]
-	if cached := r.cache.Get(question.Name, question.Type); cached != nil {
+	// The hit path is lock-light end to end: Lookup takes only a shard
+	// read lock (recency and popularity are per-entry atomics), and
+	// stale hits hand the refresh to a detached background flight.
+	// Cached messages are shared and read-only — copy before stamping.
+	if cached, _ := r.cache.Lookup(question.Name, question.Type); cached != nil {
 		resp := *cached
 		resp.Header.ID = q.Header.ID
 		resp.Header.RecursionDesired = q.Header.RecursionDesired

@@ -24,12 +24,23 @@ import (
 // buckets) when reg is non-nil; hit/miss/eviction counters come from
 // cache.Instrument, which callers wire once per process.
 //
+// When the cache is configured with a StaleTTL, expired entries are
+// served past expiry (Timing.Stale set, TTLs capped) while the cache
+// refreshes them in the background; WithCache wires itself in as the
+// cache's Refresher, so background refreshes and prefetches resolve
+// through the same next stack — with a fresh query ID and a detached
+// context — as foreground misses.
+//
 // Queries without exactly one question bypass the cache entirely.
 func WithCache(next Resolver, c *cache.Cache, reg *obs.Registry, kind Kind) Resolver {
 	cw := &cacheware{next: next, cache: c}
 	if reg != nil {
 		cw.hitHist = reg.Histogram(metricName(kind, "cache_hit_ms"), cacheHitBuckets())
 	}
+	c.SetRefresher(func(ctx context.Context, name dnswire.Name, typ dnswire.Type) (*dnswire.Message, error) {
+		resp, _, err := next.Resolve(ctx, Query(name, typ))
+		return resp, err
+	})
 	return cw
 }
 
@@ -57,7 +68,7 @@ func (cw *cacheware) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.
 	}
 	question := q.Questions[0]
 	start := time.Now()
-	if cached := cw.cache.Get(question.Name, question.Type); cached != nil {
+	if cached, outcome := cw.cache.Lookup(question.Name, question.Type); cached != nil {
 		// Cached messages are shared and read-only: copy the struct
 		// before stamping this caller's identity.
 		resp := *cached
@@ -66,7 +77,7 @@ func (cw *cacheware) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.
 		if cw.hitHist != nil {
 			cw.hitHist.Observe(d)
 		}
-		return &resp, Timing{Total: d, Reused: true, Attempts: 1}, nil
+		return &resp, Timing{Total: d, Reused: true, Attempts: 1, Stale: outcome == cache.Stale}, nil
 	}
 
 	// Miss: resolve through next, collapsing concurrent misses for the
@@ -90,5 +101,10 @@ func (cw *cacheware) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.
 		resp.Header.ID = q.Header.ID
 		return &resp, Timing{Total: time.Since(start), Attempts: 1}, nil
 	}
-	return msg, leaderTiming, nil
+	// The leader's message was just handed to cache.Put, which retains
+	// it for warm hits. Return a private copy so callers stamping
+	// Header fields (every server does, for the client's query ID)
+	// don't corrupt the shared cached message under concurrent hits.
+	resp := *msg
+	return &resp, leaderTiming, nil
 }

@@ -84,6 +84,10 @@ type Timing struct {
 	// consumed (1 for a clean first try; retry and hedging layers add
 	// theirs). Zero means the layer below did not count — treat as 1.
 	Attempts int
+	// Stale reports that the answer came from an expired cache entry
+	// inside the serve-stale window (RFC 8767): TTLs are capped and a
+	// background refresh is under way. Implies Reused.
+	Stale bool
 }
 
 // Breakdown returns the per-phase durations keyed by stable names, the
