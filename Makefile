@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify runs the full tier-1 gate list from ROADMAP.md: build, vet,
+# all tests, race gates, the three short-mode soaks (chaos, serve,
+# overload), and the zero-allocation + bench smokes.
+verify:
+	./scripts/verify.sh
+
+# bench regenerates the committed benchmark baselines.
+bench:
+	$(GO) run ./cmd/benchwire -o BENCH_wire.json
+	$(GO) run ./cmd/benchserve -o BENCH_serve.json

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/authserver"
 	"repro/internal/dnswire"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -31,6 +32,13 @@ func main() {
 	listeners := flag.Int("listeners", 1, "parallel UDP listener shards (SO_REUSEPORT where available)")
 	batch := flag.Int("batch", 0, "datagrams per batched syscall (0 = engine default, 1 = no batching)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	maxInflight := flag.Int("max-inflight", 0, "admission budget: max queries in flight before shedding SERVFAIL (0 = unlimited)")
+	maxConns := flag.Int("max-conns", 0, "max concurrent TCP connections (0 = unlimited)")
+	rrl := flag.Float64("rrl", 0, "UDP response rate limit per source prefix, responses/sec (0 = off)")
+	rrlBurst := flag.Float64("rrl-burst", 0, "RRL token-bucket burst (0 = same as -rrl)")
+	rrlSlip := flag.Int("rrl-slip", 0, "answer every Nth rate-limited query with TC=1 (0 = default 2, negative = never)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-response TCP write deadline (0 = idle timeout, negative = none)")
+	maxFrame := flag.Int("max-frame", 0, "max TCP request frame bytes; oversize closes the connection (0 = 64KiB-1)")
 	flag.Parse()
 
 	origin := dnswire.NewName(*zoneName)
@@ -80,6 +88,15 @@ func main() {
 	srv.Logger = log.New(os.Stderr, "authdns: ", log.LstdFlags)
 	srv.Listeners = *listeners
 	srv.BatchSize = *batch
+	srv.Protect = serve.Protection{
+		MaxInflight:        *maxInflight,
+		RateLimit:          *rrl,
+		RateBurst:          *rrlBurst,
+		RateSlip:           *rrlSlip,
+		MaxConns:           *maxConns,
+		MaxFrameBytes:      *maxFrame,
+		StreamWriteTimeout: *writeTimeout,
+	}
 	if err := srv.ListenAndServe(*listen); err != nil {
 		log.Fatalf("authdns: %v", err)
 	}

@@ -48,6 +48,13 @@ type row struct {
 	P50Us float64 `json:"p50_us"`
 	P99Us float64 `json:"p99_us"`
 	Errs  int64   `json:"errs"`
+	// Overload-row extras: OfferedQPS is the total query rate the
+	// generator achieved (accepted + shed), ShedRatio the fraction the
+	// admission budget refused with SERVFAIL. QPS/P50/P99 above then
+	// cover accepted queries only — the latency contract the shedding
+	// exists to protect.
+	OfferedQPS float64 `json:"offered_qps,omitempty"`
+	ShedRatio  float64 `json:"shed_ratio,omitempty"`
 	// SpeedupVsSingle is QPS relative to the same protocol's first
 	// (single-listener) row.
 	SpeedupVsSingle float64 `json:"speedup_vs_single,omitempty"`
@@ -184,6 +191,42 @@ func main() {
 		r := runPipelinedUDP(pipeWorkers, 32, *dur, srv.Addr())
 		add("do53", n, serve.DefaultBatchSize, "inline", r, anchor)
 		srv.Close()
+	}
+
+	// Overload: the engine with an admission budget far below the
+	// offered load — a handler that costs ~1ms (a cache-missing
+	// recursive lookup's shape) behind a budget of twice the worker
+	// pool, while the pipelined generator keeps an order of magnitude
+	// more outstanding. The budget must sit below the dispatch
+	// pipeline's natural depth (workers + queue), else queue
+	// backpressure throttles the reader first and excess load waits in
+	// the socket buffer instead of being shed. The row records the
+	// degradation contract: offered vs accepted QPS, the shed ratio,
+	// and the latency of the queries that were accepted, which the
+	// budget keeps bounded instead of letting them queue.
+	{
+		ovSrv, err := serve.New("127.0.0.1:0", serve.Options{
+			Packet:      serve.PacketHandlerFunc(overloadHandler),
+			Concurrency: 8,
+			BatchSize:   serve.DefaultBatchSize,
+			Protection:  serve.Protection{MaxInflight: 16},
+		})
+		if err != nil {
+			panic(err)
+		}
+		r, offered, shedRatio := runOverloadUDP(pipeWorkers, 64, *dur, ovSrv.Addr())
+		entry := row{
+			Proto: "do53", Listeners: 1, BatchSize: serve.DefaultBatchSize,
+			Mode:  "overload",
+			QPS:   r.QPS,
+			P50Us: float64(r.P50.Microseconds()),
+			P99Us: float64(r.P99.Microseconds()),
+			Errs:  r.Errs, OfferedQPS: offered, ShedRatio: shedRatio,
+		}
+		rep.Rows = append(rep.Rows, entry)
+		fmt.Fprintf(os.Stderr, "do53 mode=overload: offered %.0f qps, accepted %.0f qps (shed %.1f%%) p50=%v p99=%v errs=%d\n",
+			offered, r.QPS, shedRatio*100, r.P50, r.P99, r.Errs)
+		ovSrv.Close()
 	}
 
 	// DoT: the engine-backed TLS front end on a static resolver.

@@ -26,8 +26,34 @@ import (
 	"repro/internal/obs"
 	"repro/internal/recursive"
 	"repro/internal/resolver"
+	"repro/internal/serve"
 	"repro/internal/tlsutil"
 )
+
+// admissionMiddleware bounds in-flight DoH requests. DoH rides
+// net/http rather than the serve engine, so admission control lives
+// here as a semaphore: over budget, the request is refused immediately
+// with 503 + Retry-After (the HTTP analogue of the engine's SERVFAIL
+// shed) and counted in dohsrv_shed_total. /metrics stays exempt so the
+// server remains observable while melting.
+func admissionMiddleware(next http.Handler, budget int, shed *obs.Counter) http.Handler {
+	sem := make(chan struct{}, budget)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server overloaded", http.StatusServiceUnavailable)
+		}
+	})
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8443", "HTTPS listen address")
@@ -42,6 +68,8 @@ func main() {
 	staleTTL := flag.Duration("stale-ttl", 0, "serve expired entries for this window while refreshing in the background (RFC 8767; 0 disables)")
 	prefetch := flag.Duration("prefetch", 0, "refresh popular entries whose remaining TTL drops below this horizon (0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	maxInflight := flag.Int("max-inflight", 0, "admission budget: max DoH requests in flight before answering 503, and max DoT queries before SERVFAIL (0 = unlimited)")
+	maxConns := flag.Int("max-conns", 0, "max concurrent DoT connections (0 = unlimited)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -78,6 +106,7 @@ func main() {
 			log.Fatalf("dohsrv: DoT certificate: %v", err)
 		}
 		dotSrv = dot.NewServer(res, dotCfg)
+		dotSrv.Protect = serve.Protection{MaxInflight: *maxInflight, MaxConns: *maxConns}
 		if err := dotSrv.ListenAndServe(*dotListen); err != nil {
 			log.Fatalf("dohsrv: DoT listener: %v", err)
 		}
@@ -95,9 +124,13 @@ func main() {
 			snapshot.ServeHTTP(w, r)
 		})
 	}
+	var httpHandler http.Handler = mux
+	if *maxInflight > 0 {
+		httpHandler = admissionMiddleware(mux, *maxInflight, reg.Counter("dohsrv_shed_total"))
+	}
 	srv := &http.Server{
 		Addr:         *listen,
-		Handler:      mux,
+		Handler:      httpHandler,
 		ReadTimeout:  15 * time.Second,
 		WriteTimeout: 15 * time.Second,
 	}

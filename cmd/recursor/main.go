@@ -26,6 +26,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/recursive"
 	"repro/internal/resolver"
+	"repro/internal/serve"
 )
 
 // upstreamFor builds a forwarding upstream on the unified resolver
@@ -54,6 +55,10 @@ func main() {
 	listeners := flag.Int("listeners", 1, "parallel UDP listener shards (SO_REUSEPORT where available)")
 	workers := flag.Int("workers", 0, "resolver workers per listener (0 = default pool size)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	maxInflight := flag.Int("max-inflight", 0, "admission budget: max queries in flight before shedding SERVFAIL (0 = unlimited)")
+	rrl := flag.Float64("rrl", 0, "UDP response rate limit per source prefix, responses/sec (0 = off)")
+	rrlBurst := flag.Float64("rrl-burst", 0, "RRL token-bucket burst (0 = same as -rrl)")
+	rrlSlip := flag.Int("rrl-slip", 0, "answer every Nth rate-limited query with TC=1 (0 = default 2, negative = never)")
 	flag.Parse()
 
 	if *forward == "" && *roots == "" {
@@ -88,6 +93,12 @@ func main() {
 	srv := recursive.NewServer(res)
 	srv.Listeners = *listeners
 	srv.Concurrency = *workers
+	srv.Protect = serve.Protection{
+		MaxInflight: *maxInflight,
+		RateLimit:   *rrl,
+		RateBurst:   *rrlBurst,
+		RateSlip:    *rrlSlip,
+	}
 	if err := srv.ListenAndServe(*listen); err != nil {
 		log.Fatalf("recursor: %v", err)
 	}

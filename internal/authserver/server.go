@@ -45,6 +45,14 @@ type Server struct {
 	BatchSize   int
 	Concurrency int
 
+	// Protect configures the engine's overload protection (admission
+	// budget, RRL, stream governance — see serve.Protection). The zero
+	// value leaves every defense off. The engine-level RateLimit and
+	// the legacy Limiter above are independent: Limiter runs inside the
+	// handler for library users who construct one, RateLimit sheds
+	// before the handler runs.
+	Protect serve.Protection
+
 	// QueryLogLimit caps the in-memory query log. Once the log holds
 	// this many entries each new query overwrites the oldest, so a
 	// long-running server keeps a bounded window instead of growing
@@ -79,6 +87,7 @@ func (s *Server) ListenAndServe(addr string) error {
 		BatchSize:   s.BatchSize,
 		Concurrency: s.Concurrency,
 		Logf:        s.logf,
+		Protection:  s.Protect,
 	})
 	if err != nil {
 		return err

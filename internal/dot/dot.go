@@ -209,6 +209,11 @@ type Server struct {
 	// serve.Options); zero means one. Set before ListenAndServe.
 	Listeners int
 
+	// Protect configures the engine's overload protection (admission
+	// budget, connection caps, write deadlines — see serve.Protection).
+	// The zero value leaves every defense off.
+	Protect serve.Protection
+
 	engine *serve.Server
 }
 
@@ -228,6 +233,7 @@ func (s *Server) ListenAndServe(addr string) error {
 		Listeners:         s.Listeners,
 		QueryTimeout:      10 * time.Second,
 		StreamIdleTimeout: 30 * time.Second,
+		Protection:        s.Protect,
 	})
 	if err != nil {
 		return err

@@ -248,6 +248,12 @@ type Server struct {
 	BatchSize   int
 	Concurrency int
 
+	// Protect configures the engine's overload protection (admission
+	// budget, RRL — see serve.Protection). A recursive handler blocks
+	// on upstreams, so an admission budget is the difference between
+	// shedding overload and queueing it into multi-second latency.
+	Protect serve.Protection
+
 	engine *serve.Server
 }
 
@@ -274,6 +280,7 @@ func (s *Server) ListenAndServe(addr string) error {
 		BatchSize:    s.BatchSize,
 		Concurrency:  conc,
 		QueryTimeout: QueryTimeout,
+		Protection:   s.Protect,
 	})
 	if err != nil {
 		return err

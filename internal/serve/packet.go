@@ -71,30 +71,62 @@ func (s *Server) packetInlineLoop(idx int, conn *net.UDPConn, b batchio.Batch) {
 		}
 		s.observeBatch(n)
 		qd.Set(float64(n))
-		wrote := 0
+		answered, wrote := 0, 0
 		for i := 0; i < n; i++ {
+			resps[i] = nil
+			raw := b.Packet(i)
+			// Protection runs before the handler: rate-limit verdicts
+			// and admission refusals are answered (or dropped) from the
+			// query's own bytes, riding the same batched write as real
+			// responses — shedding must stay cheaper than serving.
+			if s.limiter != nil {
+				switch s.limiter.verdict(b.Addr(i)) {
+				case rrlDrop:
+					s.metrics.rlDropped.Inc()
+					continue
+				case rrlSlipTC:
+					s.metrics.rlSlipped.Inc()
+					if tc := appendTruncated(outs[i].B[:0], raw); tc != nil {
+						outs[i].B = tc
+						resps[i] = tc
+						wrote++
+					}
+					continue
+				}
+			}
+			if !s.admit() {
+				if sf := appendServFail(outs[i].B[:0], raw); sf != nil {
+					outs[i].B = sf
+					resps[i] = sf
+					wrote++
+				}
+				continue
+			}
 			ctx, cancel := s.queryContext()
-			resp, err := s.opts.Packet.ServePacket(ctx, outs[i].B[:0], b.Packet(i), b.Addr(i))
+			resp, err := s.servePacketChecked(ctx, outs[i].B[:0], raw, b.Addr(i))
 			if cancel != nil {
 				cancel()
 			}
+			s.release()
 			if err != nil || len(resp) == 0 {
 				if err != nil {
 					s.logf("serve: packet handler: %v", err)
 				}
 				s.metrics.dropped.Inc()
-				resps[i] = nil
 				continue
 			}
 			outs[i].B = resp // adopt any growth so the slot keeps its capacity
 			resps[i] = resp
+			answered++
 			wrote++
 		}
 		if wrote > 0 {
 			if err := b.Write(resps[:n]); err != nil && !s.draining.Load() {
 				s.logf("serve: udp write: %v", err)
 			}
-			s.metrics.responses.Add(int64(wrote))
+		}
+		if answered > 0 {
+			s.metrics.responses.Add(int64(answered))
 		}
 		if s.draining.Load() {
 			return
@@ -121,6 +153,11 @@ func (s *Server) packetDispatchLoop(idx int, conn *net.UDPConn, b batchio.Batch)
 		s.wg.Add(1)
 		go s.dispatchWorker(conn, ch)
 	}
+	// Scratch for protection answers (shed SERVFAIL, RRL slip TC)
+	// written directly from the reader: queries refused here never
+	// consume a queue slot or a worker.
+	shedOut := dnswire.GetBuffer()
+	defer dnswire.PutBuffer(shedOut)
 	qd := s.metrics.queueDepth[idx]
 	errStreak := 0
 	for {
@@ -134,6 +171,30 @@ func (s *Server) packetDispatchLoop(idx int, conn *net.UDPConn, b batchio.Batch)
 		s.observeBatch(n)
 		for i := 0; i < n; i++ {
 			pkt := b.Packet(i)
+			if s.limiter != nil {
+				switch s.limiter.verdict(b.Addr(i)) {
+				case rrlDrop:
+					s.metrics.rlDropped.Inc()
+					continue
+				case rrlSlipTC:
+					s.metrics.rlSlipped.Inc()
+					if tc := appendTruncated(shedOut.B[:0], pkt); tc != nil {
+						shedOut.B = tc
+						conn.WriteToUDP(tc, b.Addr(i))
+					}
+					continue
+				}
+			}
+			// The budget slot is held from here until the worker
+			// finishes the query, so queued work counts as in flight
+			// and memory stays bounded at MaxInflight datagrams.
+			if !s.admit() {
+				if sf := appendServFail(shedOut.B[:0], pkt); sf != nil {
+					shedOut.B = sf
+					conn.WriteToUDP(sf, b.Addr(i))
+				}
+				continue
+			}
 			pb := dnswire.GetBuffer()
 			pb.Grow(len(pkt))
 			pb.B = pb.B[:len(pkt)]
@@ -157,7 +218,7 @@ func (s *Server) dispatchWorker(conn *net.UDPConn, ch chan dispatchItem) {
 	defer dnswire.PutBuffer(out)
 	for it := range ch {
 		ctx, cancel := s.queryContext()
-		resp, err := s.opts.Packet.ServePacket(ctx, out.B[:0], it.buf.B, it.src)
+		resp, err := s.servePacketChecked(ctx, out.B[:0], it.buf.B, it.src)
 		if cancel != nil {
 			cancel()
 		}
@@ -167,6 +228,7 @@ func (s *Server) dispatchWorker(conn *net.UDPConn, ch chan dispatchItem) {
 				s.logf("serve: packet handler: %v", err)
 			}
 			s.metrics.dropped.Inc()
+			s.release()
 			continue
 		}
 		out.B = resp
@@ -174,9 +236,15 @@ func (s *Server) dispatchWorker(conn *net.UDPConn, ch chan dispatchItem) {
 			if !s.draining.Load() {
 				s.logf("serve: udp write: %v", werr)
 			}
+			// The datagram was read and handled but its response was
+			// lost at the socket; count it as dropped so the engine's
+			// read = answered + refused identity stays exact.
+			s.metrics.dropped.Inc()
+			s.release()
 			continue
 		}
 		s.metrics.responses.Inc()
+		s.release()
 	}
 }
 

@@ -121,12 +121,23 @@ type Options struct {
 	// (default 30s).
 	StreamIdleTimeout time.Duration
 
+	// Protection holds the overload-protection knobs: admission
+	// control (MaxInflight), per-prefix UDP response rate limiting
+	// (RateLimit/RateBurst/RateSlip), and stream governance (MaxConns,
+	// MaxConnInflight, MaxFrameBytes, StreamWriteTimeout,
+	// StreamReadTimeout). See overload.go; the zero value disables
+	// everything except per-query panic recovery.
+	Protection
+
 	// Registry receives engine metrics: serve_packets_total,
 	// serve_responses_total, serve_dropped_total, serve_batches_total,
-	// the serve_batch_size gauge, stream counters, and one
+	// the serve_batch_size gauge, stream counters, one
 	// serve_listener_<i>_queue_depth gauge per listener (dispatch
-	// backlog in dispatch mode, last batch size inline). Nil records
-	// into a private registry.
+	// backlog in dispatch mode, last batch size inline), and the
+	// overload-protection surface: serve_shed_total,
+	// serve_ratelimit_{dropped,slipped}_total, serve_panic_total,
+	// serve_conns_rejected_total, serve_frame_oversize_total, and the
+	// serve_inflight gauge. Nil records into a private registry.
 	Registry *obs.Registry
 	// Logf, when set, receives one line per dropped packet or
 	// connection-level failure.
@@ -148,6 +159,12 @@ type Server struct {
 
 	wg       sync.WaitGroup
 	draining atomic.Bool
+
+	// inflight is the admission-control budget counter (admit/release
+	// in overload.go); limiter is the UDP response rate limiter, nil
+	// unless Options.RateLimit is positive.
+	inflight atomic.Int64
+	limiter  *rrlLimiter
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -172,6 +189,17 @@ type metrics struct {
 	streams    *obs.Counter
 	streamQs   *obs.Counter
 	queueDepth []*obs.Gauge // one per listener
+
+	// Overload-protection surface (see overload.go). Every query read
+	// lands in exactly one of responses, dropped, shed, rlDropped, or
+	// rlSlipped — the accounting identity TestOverloadSoak pins.
+	shed      *obs.Counter
+	rlDropped *obs.Counter
+	rlSlipped *obs.Counter
+	panics    *obs.Counter
+	rejConns  *obs.Counter
+	oversize  *obs.Counter
+	inflightG *obs.Gauge
 }
 
 // New binds addr and starts serving with the given options. The
@@ -191,6 +219,18 @@ func New(addr string, opts Options) (*Server, error) {
 	if opts.StreamIdleTimeout <= 0 {
 		opts.StreamIdleTimeout = 30 * time.Second
 	}
+	switch {
+	case opts.StreamWriteTimeout == 0:
+		// A slow-reading client must not pin a connection goroutine on
+		// conn.Write forever once the kernel buffers fill, so the write
+		// deadline defaults on, mirroring the idle deadline.
+		opts.StreamWriteTimeout = opts.StreamIdleTimeout
+	case opts.StreamWriteTimeout < 0:
+		opts.StreamWriteTimeout = 0
+	}
+	if opts.MaxFrameBytes <= 0 || opts.MaxFrameBytes > 0xffff {
+		opts.MaxFrameBytes = 0xffff
+	}
 	reg := opts.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -201,6 +241,9 @@ func New(addr string, opts Options) (*Server, error) {
 		finished:   make(chan struct{}),
 		conns:      make(map[net.Conn]struct{}),
 	}
+	if opts.RateLimit > 0 {
+		s.limiter = newRRLLimiter(opts.RateLimit, opts.RateBurst, opts.RateSlip)
+	}
 	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
 	s.metrics = metrics{
 		packets:   reg.Counter("serve_packets_total"),
@@ -210,6 +253,13 @@ func New(addr string, opts Options) (*Server, error) {
 		batchSize: reg.Gauge("serve_batch_size"),
 		streams:   reg.Counter("serve_streams_total"),
 		streamQs:  reg.Counter("serve_stream_queries_total"),
+		shed:      reg.Counter("serve_shed_total"),
+		rlDropped: reg.Counter("serve_ratelimit_dropped_total"),
+		rlSlipped: reg.Counter("serve_ratelimit_slipped_total"),
+		panics:    reg.Counter("serve_panic_total"),
+		rejConns:  reg.Counter("serve_conns_rejected_total"),
+		oversize:  reg.Counter("serve_frame_oversize_total"),
+		inflightG: reg.Gauge("serve_inflight"),
 	}
 	for i := 0; i < opts.Listeners; i++ {
 		s.metrics.queueDepth = append(s.metrics.queueDepth,
@@ -500,14 +550,21 @@ func (s *Server) queryContext() (context.Context, context.CancelFunc) {
 	return s.baseCtx, nil
 }
 
-func (s *Server) registerConn(c net.Conn) bool {
+// registerConn admits a stream connection. ok is false when the
+// connection must be closed; rejected distinguishes an over-MaxConns
+// refusal (keep accepting) from draining (stop accepting).
+func (s *Server) registerConn(c net.Conn) (ok, rejected bool) {
 	s.connMu.Lock()
 	defer s.connMu.Unlock()
 	if s.draining.Load() {
-		return false
+		return false, false
+	}
+	if max := s.opts.MaxConns; max > 0 && len(s.conns) >= max {
+		s.metrics.rejConns.Inc()
+		return false, true
 	}
 	s.conns[c] = struct{}{}
-	return true
+	return true, false
 }
 
 func (s *Server) unregisterConn(c net.Conn) {

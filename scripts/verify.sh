@@ -1,0 +1,50 @@
+#!/bin/sh
+# Tier-1 verification: every gate in ROADMAP.md, in one command.
+# Run from the repo root: ./scripts/verify.sh  (or: make verify)
+set -eu
+
+step() {
+	printf '\n== %s\n' "$*"
+}
+
+step "build"
+go build ./...
+
+step "vet"
+go vet ./...
+
+step "unit tests (all packages)"
+go test ./...
+
+step "race gates (concurrency-heavy packages)"
+go test -race ./internal/cache/... ./internal/resolver/... \
+	./internal/campaign/... ./internal/proxynet/... ./internal/obs/... \
+	./internal/checkpoint/...
+go test -race ./internal/serve/...
+
+step "chaos soak (short, race)"
+go test -race -run TestChaosSoak -short ./internal/campaign/
+
+step "serve soak (short, race)"
+go test -race -run TestServeSoak -short ./internal/serve/
+
+step "overload soak (short, race)"
+go test -race -run TestOverloadSoak -short ./internal/serve/
+
+step "cache 0-alloc gate"
+go test ./internal/cache/ -bench=BenchmarkCacheHit -benchtime=1x \
+	-run 'TestWarmHitAllocationFree'
+
+step "wire 0-alloc gate + bench smoke"
+go test ./internal/dnswire/ \
+	-run 'TestWirePackUnpackAllocationFree|TestQueryAppendPackAllocationFree'
+go test ./internal/dnswire/ -bench=BenchmarkWire -benchtime=1x -run '^$'
+
+step "obs 0-alloc bench smoke"
+go test ./internal/obs/ -bench=BenchmarkObs -benchtime=1x -run '^$'
+
+step "serve bench smoke"
+go test ./internal/serve/ -bench . -benchtime=1x -run '^$'
+go test ./internal/authserver/ -bench BenchmarkServePacket -benchtime=1x -run '^$'
+
+printf '\nall tier-1 gates passed\n'
