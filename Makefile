@@ -18,3 +18,4 @@ verify:
 bench:
 	$(GO) run ./cmd/benchwire -o BENCH_wire.json
 	$(GO) run ./cmd/benchserve -o BENCH_serve.json
+	$(GO) run ./cmd/benchcampaign -o BENCH_campaign.json

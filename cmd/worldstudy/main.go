@@ -15,6 +15,18 @@
 //	worldstudy -resume ./ckpt        # journal countries; re-run skips completed ones
 //	worldstudy -breaker 5            # circuit-break dead provider×country pairs
 //	worldstudy -chaos-churn 0.05     # inject exit-node churn into the simulation
+//	worldstudy -shard 1/3 -export ./s1   # measure shard 1 of 3 (see -merge)
+//	worldstudy -merge -export ./all ./s1 ./s2 ./s3   # combine shard exports
+//
+// Sharding: `-shard i/N` deterministically measures the i-th of N
+// country partitions; run one process per shard (any machines, any
+// order), give each its own -export directory, then combine them with
+// `-merge`. The merged dataset, its CSV export, and every analysis
+// table are byte-identical to an unsharded run with the same seed.
+// When shards share a -resume directory, the checkpoint journal's
+// claim protocol guarantees the partition at runtime too: even
+// overlapping or duplicated shard invocations never double-measure
+// (or double-count) a country. See docs/scaleout.md.
 //
 // SIGINT/SIGTERM interrupt the campaign cleanly: completed countries
 // are flushed (and journaled under -resume) and the process exits 0.
@@ -64,6 +76,8 @@ func main() {
 	chaosChurn := flag.Float64("chaos-churn", 0, "probability per measurement that the exit node churns mid-tunnel")
 	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "probability per measurement that the X-Luminati timing headers go missing or garbled")
 	chaosReset := flag.Float64("chaos-reset", 0, "probability per measurement that the Super-Proxy connection resets")
+	shard := flag.String("shard", "", "i/N (1-based): measure only the i-th of N country partitions; with -resume, claim countries in the shared journal")
+	merge := flag.Bool("merge", false, "combine shard export directories (given as arguments) into one dataset; analyses run on the merged data")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -89,6 +103,25 @@ func main() {
 		}
 	}
 	cfg.CheckpointDir = *resume
+	if *shard != "" {
+		if *merge {
+			log.Fatalf("worldstudy: -shard and -merge are different phases; run shards first, then merge their exports")
+		}
+		index, total, err := parseShard(*shard)
+		if err != nil {
+			log.Fatalf("worldstudy: %v", err)
+		}
+		cfg.Countries, err = campaign.ShardCountries(nil, index-1, total)
+		if err != nil {
+			log.Fatalf("worldstudy: %v", err)
+		}
+		if *resume != "" {
+			// Shards sharing a journal directory claim their countries,
+			// so even overlapping shard specs partition exactly.
+			cfg.ClaimOwner = fmt.Sprintf("shard-%d-of-%d", index, total)
+		}
+		fmt.Fprintf(os.Stderr, "worldstudy: shard %d/%d: %d countries\n", index, total, len(cfg.Countries))
+	}
 	cfg.Chaos = proxynet.Chaos{
 		ExitChurnProb:     *chaosChurn,
 		HeaderCorruptProb: *chaosCorrupt,
@@ -111,9 +144,12 @@ func main() {
 	start := time.Now()
 	var suite *experiments.Suite
 	var err error
-	if *importDir != "" {
+	switch {
+	case *merge:
+		suite, err = mergeSuite(cfg, flag.Args(), *minClients)
+	case *importDir != "":
 		suite, err = importSuite(cfg, *importDir, *minClients)
-	} else {
+	default:
 		suite, err = experiments.NewSuiteContext(ctx, cfg, *minClients)
 	}
 	interrupted := err != nil && errors.Is(err, context.Canceled) && suite != nil
@@ -245,10 +281,8 @@ func exportDataset(ds *campaign.Dataset, dir string) error {
 	return checkpoint.WriteFileAtomic(filepath.Join(dir, "atlas_do53.csv"), buf.Bytes(), 0o644)
 }
 
-// importSuite loads a dataset release and prepares the analyses over
-// it (Tables 1-2 still run fresh validation simulations; everything
-// else reads the imported data).
-func importSuite(cfg campaign.Config, dir string, minClients int) (*experiments.Suite, error) {
+// readDataset loads one dataset release directory.
+func readDataset(dir string) (*campaign.Dataset, error) {
 	main, err := os.Open(filepath.Join(dir, "dataset.csv"))
 	if err != nil {
 		return nil, err
@@ -259,7 +293,14 @@ func importSuite(cfg campaign.Config, dir string, minClients int) (*experiments.
 		defer f.Close()
 		atlas = f
 	}
-	ds, err := campaign.ReadCSV(main, atlas)
+	return campaign.ReadCSV(main, atlas)
+}
+
+// importSuite loads a dataset release and prepares the analyses over
+// it (Tables 1-2 still run fresh validation simulations; everything
+// else reads the imported data).
+func importSuite(cfg campaign.Config, dir string, minClients int) (*experiments.Suite, error) {
+	ds, err := readDataset(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -269,6 +310,45 @@ func importSuite(cfg campaign.Config, dir string, minClients int) (*experiments.
 		Analysis:   analysis.New(ds, minClients),
 		MinClients: minClients,
 	}, nil
+}
+
+// mergeSuite loads N shard export directories, merges them into one
+// dataset (validating the shard partition), and prepares the analyses
+// over it — equivalent to importSuite over an unsharded export.
+func mergeSuite(cfg campaign.Config, dirs []string, minClients int) (*experiments.Suite, error) {
+	if len(dirs) == 0 {
+		return nil, errors.New("-merge needs shard export directories as arguments")
+	}
+	parts := make([]*campaign.Dataset, len(dirs))
+	for i, dir := range dirs {
+		ds, err := readDataset(dir)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", dir, err)
+		}
+		parts[i] = ds
+	}
+	ds, err := campaign.Merge(parts...)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "worldstudy: merged %d shards: %d clients\n", len(dirs), len(ds.Clients))
+	return &experiments.Suite{
+		Config:     cfg,
+		Dataset:    ds,
+		Analysis:   analysis.New(ds, minClients),
+		MinClients: minClients,
+	}, nil
+}
+
+// parseShard parses "i/N" with 1 <= i <= N.
+func parseShard(s string) (index, total int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &index, &total); err != nil {
+		return 0, 0, fmt.Errorf("-shard wants i/N (e.g. 2/3), got %q", s)
+	}
+	if total < 1 || index < 1 || index > total {
+		return 0, 0, fmt.Errorf("-shard %q out of range: want 1 <= i <= N", s)
+	}
+	return index, total, nil
 }
 
 // printTimeline runs one DoH measurement in the given country and

@@ -16,6 +16,7 @@ import (
 	"hash/fnv"
 	"net/netip"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/proxynet"
 	"repro/internal/resolver"
+	"repro/internal/sketch"
 	"repro/internal/world"
 )
 
@@ -109,6 +111,27 @@ type Config struct {
 	// the record came from the checkpoint journal. Called from worker
 	// goroutines, serialized by the campaign.
 	OnCountryDone func(code string, clients int, resumed bool)
+	// ClaimOwner, when non-empty (requires CheckpointDir), arms the
+	// work-claim protocol for sharded campaigns: before measuring a
+	// country the worker claims it in the journal, and a country whose
+	// claim belongs to a different owner is skipped entirely — neither
+	// measured nor restored — so N processes sharing one journal
+	// directory partition the country list with no double-measuring
+	// and no double-counting. Claims are released when a country fails
+	// or is interrupted (making it claimable again) and kept when it
+	// completes (marking which shard's dataset owns it). Like Parallel,
+	// this is a scheduling knob: it cannot change any record, so it
+	// stays out of the checkpoint config key.
+	ClaimOwner string
+	// DiscardClients, when true, drops each country's client records
+	// after they are sketched and journaled, keeping only the
+	// mergeable aggregates (Dataset.Sketch, accounting, KeptClients).
+	// Peak memory is then bounded by the largest single country
+	// instead of the whole world — the constant-RSS mode for
+	// million-client scale-out. Dataset.Clients is empty; CSV export
+	// requires the full records, so the two are mutually exclusive by
+	// construction. A reporting knob: out of the config key.
+	DiscardClients bool
 }
 
 // DefaultConfig reproduces the paper's campaign shape: with the
@@ -251,6 +274,17 @@ type Dataset struct {
 	// merged simulator counters. Deterministic for a given Config
 	// regardless of Parallel.
 	Obs obs.Snapshot
+	// Sketch holds the campaign's mergeable latency aggregates, one
+	// fixed-bucket histogram per obs metric name (campaign_doh_<p>_ms,
+	// campaign_country_<cc>_doh_ms, ...). Sketches from shard datasets
+	// merge exactly (see internal/sketch), and the obs histograms
+	// above are built from this sketch, so the two always agree.
+	Sketch *sketch.Set
+	// KeptClients counts the clients the campaign measured and kept,
+	// including records dropped from Clients by Config.DiscardClients
+	// — the honest denominator in constant-memory mode (equal to
+	// len(Clients) otherwise).
+	KeptClients int
 	// Seed echoes the campaign seed.
 	Seed int64
 	// Partial reports that the campaign was canceled before every
@@ -367,12 +401,17 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 		ds.Transports[k] = TransportStats{}
 	}
 
-	countries := cfg.Countries
+	// Canonical country order: the dataset (and so its CSV export) is a
+	// pure function of the country SET, never of the order the caller
+	// listed it in. This is what lets Merge reassemble shard outputs
+	// into the exact byte sequence of an unsharded run.
+	countries := append([]string(nil), cfg.Countries...)
 	if countries == nil {
 		for _, ct := range world.All() {
 			countries = append(countries, ct.Code)
 		}
 	}
+	sort.Strings(countries)
 
 	workers := cfg.Parallel
 	if workers <= 0 {
@@ -392,6 +431,10 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 			return nil, err
 		}
 	}
+	if cfg.ClaimOwner != "" && journal == nil {
+		return nil, fmt.Errorf("campaign: ClaimOwner %q requires CheckpointDir (the claim journal)", cfg.ClaimOwner)
+	}
+	claiming := journal != nil && cfg.ClaimOwner != ""
 	// Serializes journaling + the OnCountryDone callback across workers.
 	var doneMu sync.Mutex
 	countryDone := func(code string, clients int, resumed bool) {
@@ -409,9 +452,19 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 	// whether countries run serially or on N workers, and a journaled
 	// country can be loaded back verbatim on resume.
 	results := make([][]ClientRecord, len(countries))
-	accounts := make([]countryAccounting, len(countries))
+	kept := make([]int, len(countries))
 	errs := make([]error, len(countries))
 	completed := make([]bool, len(countries))
+	// Shared aggregates, merged into as countries complete: the sketch
+	// merge and every accounting figure are commutative and
+	// associative sums, so the result is schedule-independent, and not
+	// holding per-country sketches and accounting until the end is
+	// what keeps DiscardClients memory flat in the country count.
+	// Client records are the one order-dependent output; they stay in
+	// results[] and are concatenated in country order afterwards.
+	agg := sketch.NewSet()
+	var aggMu sync.Mutex
+	var simTotal proxynet.SimStats
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -423,8 +476,47 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 			// the names themselves (which outlive the loop inside the
 			// cache guards and the simulator).
 			scratch := new(nameScratch)
+			// finish records a completed country's aggregates, then
+			// optionally drops the client records: in DiscardClients
+			// mode the sketch, accounting, and count are all that
+			// leave the worker, so peak memory stays bounded by the
+			// in-flight countries rather than the whole world.
+			finish := func(idx int, res []ClientRecord, acct countryAccounting) {
+				kept[idx] = len(res)
+				s := sketchClients(res)
+				aggMu.Lock()
+				agg.Merge(s)
+				ds.KeptClients += len(res)
+				ds.DiscardedMismatch += acct.mismatch
+				ds.DiscardedImplausible += acct.implausible
+				for kind, stats := range acct.transports {
+					ds.Transports[kind] = ds.Transports[kind].merge(stats)
+				}
+				mergeBreakers(ds.Breakers, acct.breakers)
+				simTotal = addSimStats(simTotal, acct.simStats)
+				aggMu.Unlock()
+				completed[idx] = true
+				if cfg.DiscardClients {
+					results[idx] = nil
+				}
+			}
 			for idx := range work {
 				code := countries[idx]
+				if claiming {
+					// Claim BEFORE consulting the journal: a country
+					// another shard completed has a journal record AND
+					// that shard's claim, and restoring it here would
+					// double-count it in the merged dataset. Not ours
+					// means not our problem — skip it entirely.
+					mine, cerr := journal.Claim(code, cfg.ClaimOwner)
+					if cerr != nil {
+						errs[idx] = cerr
+						continue
+					}
+					if !mine {
+						continue
+					}
+				}
 				if journal != nil {
 					var rec countryRecord
 					ok, jerr := journal.Get(code, &rec)
@@ -433,26 +525,36 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 						continue
 					}
 					if ok {
-						results[idx], accounts[idx] = rec.restore()
-						completed[idx] = true
-						countryDone(code, len(results[idx]), true)
+						res, acct := rec.restore()
+						results[idx] = res
+						finish(idx, res, acct)
+						countryDone(code, kept[idx], true)
 						continue
 					}
 				}
 				res, acct, merr := measureCountry(ctx, cfg, code, providers, scratch)
 				if merr != nil {
 					errs[idx] = merr
+					if claiming {
+						// Failed or interrupted: hand the country back
+						// so a sibling shard (or a retry) can take it.
+						// Best-effort; the measurement error wins.
+						journal.Release(code, cfg.ClaimOwner)
+					}
 					continue
 				}
-				results[idx], accounts[idx] = res, acct
-				completed[idx] = true
+				results[idx] = res
 				if journal != nil {
 					if jerr := journal.Put(code, newCountryRecord(res, acct)); jerr != nil {
 						errs[idx] = jerr
+						if claiming {
+							journal.Release(code, cfg.ClaimOwner)
+						}
 						continue
 					}
 				}
-				countryDone(code, len(res), false)
+				finish(idx, res, acct)
+				countryDone(code, kept[idx], false)
 			}
 		}()
 	}
@@ -471,19 +573,11 @@ feed:
 			return nil, err
 		}
 	}
-	var simTotal proxynet.SimStats
+	ds.Sketch = agg
 	for i := range countries {
-		if !completed[i] {
-			continue
+		if completed[i] {
+			ds.Clients = append(ds.Clients, results[i]...)
 		}
-		ds.Clients = append(ds.Clients, results[i]...)
-		ds.DiscardedMismatch += accounts[i].mismatch
-		ds.DiscardedImplausible += accounts[i].implausible
-		for kind, stats := range accounts[i].transports {
-			ds.Transports[kind] = ds.Transports[kind].merge(stats)
-		}
-		mergeBreakers(ds.Breakers, accounts[i].breakers)
-		simTotal = addSimStats(simTotal, accounts[i].simStats)
 	}
 
 	if err := ctx.Err(); err != nil {
@@ -491,7 +585,9 @@ feed:
 		// and observability — but no Atlas remedy, which would hide
 		// the missing Do53 coverage behind fresh probe data.
 		ds.Partial = true
-		finishObs(cfg, ds, simTotal)
+		if oerr := finishObs(cfg, ds, simTotal); oerr != nil {
+			return nil, oerr
+		}
 		return ds, fmt.Errorf("campaign: interrupted: %w", err)
 	}
 
@@ -512,7 +608,9 @@ feed:
 		ds.AtlasDo53Ms[ct.Code] = med
 	}
 
-	finishObs(cfg, ds, simTotal)
+	if err := finishObs(cfg, ds, simTotal); err != nil {
+		return nil, err
+	}
 	return ds, nil
 }
 
@@ -523,12 +621,18 @@ var markerAddr = netip.MustParseAddr("192.0.2.1")
 // finishObs assembles the observability view from the finished (or
 // partially finished) dataset; the snapshot is a pure function of the
 // records and accounting, so it inherits their schedule independence.
-func finishObs(cfg Config, ds *Dataset, simTotal proxynet.SimStats) {
+// The latency histograms are absorbed from the mergeable sketch (same
+// bucket layout, exact integer merge), which is what keeps the
+// snapshot identical whether clients were retained or discarded, and
+// whether the dataset came from one process or N merged shards.
+func finishObs(cfg Config, ds *Dataset, simTotal proxynet.SimStats) error {
 	reg := cfg.Obs
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	observeClients(reg, ds.Clients)
+	if err := absorbSketch(reg, ds.Sketch); err != nil {
+		return err
+	}
 	publishAccounting(reg, ds, simTotal)
 	if cfg.Cache != nil {
 		// Tripwire totals. Names are unique per run, so guard_hits is
@@ -542,6 +646,7 @@ func finishObs(cfg Config, ds *Dataset, simTotal proxynet.SimStats) {
 		reg.Gauge("campaign_cache_guard_entries").Set(float64(cfg.Cache.Len()))
 	}
 	ds.Obs = reg.Snapshot()
+	return nil
 }
 
 // configKey hashes the result-affecting configuration. Two configs
@@ -645,6 +750,7 @@ func (ds *Dataset) AnalyzedCountries(minClients int, providers []anycast.Provide
 			out = append(out, code)
 		}
 	}
+	sort.Strings(out) // map iteration order must not leak to callers
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"repro/internal/anycast"
@@ -16,6 +17,15 @@ import (
 // Atlas Do53 medians for the 11 Super-Proxy countries. ReadCSV
 // reconstructs a Dataset, so analyses can run on published data
 // without re-running a campaign.
+//
+// A client whose DoH measurements are all invalid but whose Do53
+// baseline is valid exports as a single provider-less row (empty
+// provider and DoH columns): dropping such clients — the pre-fix
+// behavior — silently shrank the Do53 baseline on every round-trip,
+// an error a sharded export/merge pipeline would amplify once per
+// shard. ReadCSV also cross-checks that repeated rows for one client
+// carry identical metadata instead of silently keeping the first,
+// so a corrupt merge fails loudly at import.
 
 // csvHeader is the column layout of the main export.
 var csvHeader = []string{
@@ -25,7 +35,14 @@ var csvHeader = []string{
 	"pop_id", "pop_country", "pop_distance_km", "nearest_pop_km",
 }
 
-// WriteCSV writes one row per (client, provider) measurement.
+// clientMetaCols are the column indices (and count) of the per-client
+// metadata every row repeats; ReadCSV requires repeated rows to agree
+// on all of them.
+const clientMetaCols = 8
+
+// WriteCSV writes one row per (client, provider) measurement, plus one
+// provider-less row for each client with a valid Do53 baseline but no
+// valid DoH result, so the Do53 sample survives the round-trip.
 func (ds *Dataset) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
@@ -34,18 +51,28 @@ func (ds *Dataset) WriteCSV(w io.Writer) error {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 	for i := range ds.Clients {
 		c := &ds.Clients[i]
+		meta := []string{
+			c.ClientID, c.CountryCode, c.Prefix,
+			f(c.Pos.Lat), f(c.Pos.Lon), f(c.NSDistanceKm),
+			f(c.Do53Ms), strconv.FormatBool(c.Do53Valid),
+		}
+		wrote := false
 		for _, pid := range anycast.ProviderIDs() {
 			res, ok := c.DoH[pid]
 			if !ok || !res.Valid {
 				continue
 			}
-			row := []string{
-				c.ClientID, c.CountryCode, c.Prefix,
-				f(c.Pos.Lat), f(c.Pos.Lon), f(c.NSDistanceKm),
-				f(c.Do53Ms), strconv.FormatBool(c.Do53Valid),
+			row := append(append([]string(nil), meta...),
 				string(pid), f(res.TDoHMs), f(res.TDoHRMs),
 				res.PoPID, res.PoPCountry, f(res.PoPDistanceKm), f(res.NearestPoPDistanceKm),
+			)
+			if err := cw.Write(row); err != nil {
+				return err
 			}
+			wrote = true
+		}
+		if !wrote && c.Do53Valid {
+			row := append(append([]string(nil), meta...), "", "", "", "", "", "", "")
 			if err := cw.Write(row); err != nil {
 				return err
 			}
@@ -66,7 +93,7 @@ func (ds *Dataset) WriteAtlasCSV(w io.Writer) error {
 	for code := range ds.AtlasDo53Ms {
 		codes = append(codes, code)
 	}
-	sortStrings(codes)
+	sort.Strings(codes)
 	for _, code := range codes {
 		if err := cw.Write([]string{code, strconv.FormatFloat(ds.AtlasDo53Ms[code], 'f', 4, 64)}); err != nil {
 			return err
@@ -76,18 +103,13 @@ func (ds *Dataset) WriteAtlasCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-func sortStrings(s []string) {
-	for i := range s {
-		for j := i + 1; j < len(s); j++ {
-			if s[j] < s[i] {
-				s[i], s[j] = s[j], s[i]
-			}
-		}
-	}
-}
-
 // ReadCSV reconstructs a dataset from the main export and an optional
-// Atlas export (nil allowed).
+// Atlas export (nil allowed). It reads both current exports (which may
+// contain provider-less rows for Do53-only clients) and older ones
+// (which never do), and rejects the corruption a bad shard merge
+// introduces: repeated client rows with mismatching metadata, a
+// provider measured twice for one client, or a provider-less row
+// coexisting with provider rows.
 func ReadCSV(main io.Reader, atlas io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(main)
 	header, err := cr.Read()
@@ -103,7 +125,9 @@ func ReadCSV(main io.Reader, atlas io.Reader) (*Dataset, error) {
 		}
 	}
 	ds := &Dataset{AtlasDo53Ms: make(map[string]float64)}
-	byID := map[string]int{} // client id -> index in ds.Clients
+	byID := map[string]int{}          // client id -> index in ds.Clients
+	meta := map[string][]string{}     // client id -> first-seen metadata columns
+	bare := map[string]bool{}         // client id -> had a provider-less row
 	lineNo := 1
 	for {
 		row, err := cr.Read()
@@ -134,6 +158,43 @@ func ReadCSV(main io.Reader, atlas io.Reader) (*Dataset, error) {
 			})
 			idx = len(ds.Clients) - 1
 			byID[row[0]] = idx
+			meta[row[0]] = append([]string(nil), row[:clientMetaCols]...)
+		} else {
+			// Repeated client: every row must repeat the same metadata.
+			// Silently keeping the first — the pre-fix behavior — would
+			// let a corrupt merge (two shards disagreeing on a client's
+			// geography or Do53 baseline) import without complaint.
+			for i, v := range meta[row[0]] {
+				if row[i] != v {
+					return nil, fmt.Errorf("campaign: CSV line %d: client %s column %s is %q, earlier rows say %q",
+						lineNo, row[0], csvHeader[i], row[i], v)
+				}
+			}
+		}
+		if row[8] == "" {
+			// Provider-less row: a client with a valid Do53 baseline and
+			// no valid DoH. All DoH columns must be empty, and the row
+			// must be the client's only one.
+			for i := 9; i < len(row); i++ {
+				if row[i] != "" {
+					return nil, fmt.Errorf("campaign: CSV line %d: provider-less row has non-empty column %s", lineNo, csvHeader[i])
+				}
+			}
+			if bare[row[0]] {
+				return nil, fmt.Errorf("campaign: CSV line %d: duplicate provider-less row for client %s", lineNo, row[0])
+			}
+			if len(ds.Clients[idx].DoH) > 0 {
+				return nil, fmt.Errorf("campaign: CSV line %d: provider-less row for client %s, which also has provider rows", lineNo, row[0])
+			}
+			bare[row[0]] = true
+			continue
+		}
+		if bare[row[0]] {
+			return nil, fmt.Errorf("campaign: CSV line %d: provider row for client %s after a provider-less row", lineNo, row[0])
+		}
+		pid := anycast.ProviderID(row[8])
+		if _, dup := ds.Clients[idx].DoH[pid]; dup {
+			return nil, fmt.Errorf("campaign: CSV line %d: duplicate provider %s for client %s", lineNo, pid, row[0])
 		}
 		tdoh, err1 := pf(9)
 		tdohr, err2 := pf(10)
@@ -142,7 +203,7 @@ func ReadCSV(main io.Reader, atlas io.Reader) (*Dataset, error) {
 		if err := firstErr(err1, err2, err3, err4); err != nil {
 			return nil, fmt.Errorf("campaign: CSV line %d: %w", lineNo, err)
 		}
-		ds.Clients[idx].DoH[anycast.ProviderID(row[8])] = DoHResult{
+		ds.Clients[idx].DoH[pid] = DoHResult{
 			TDoHMs: tdoh, TDoHRMs: tdohr,
 			PoPID: row[11], PoPCountry: row[12],
 			PoPDistanceKm: popDist, NearestPoPDistanceKm: nearest,
@@ -173,6 +234,8 @@ func ReadCSV(main io.Reader, atlas io.Reader) (*Dataset, error) {
 			ds.AtlasDo53Ms[row[0]] = v
 		}
 	}
+	ds.KeptClients = len(ds.Clients)
+	ds.Sketch = sketchClients(ds.Clients)
 	return ds, nil
 }
 

@@ -89,6 +89,133 @@ func TestCSVBadRows(t *testing.T) {
 	}
 }
 
+// TestCSVRoundTripDo53OnlyClient pins bugfix #1: a client whose DoH
+// results are all invalid but whose Do53 baseline is valid must
+// survive the WriteCSV/ReadCSV round-trip. The pre-fix WriteCSV
+// skipped such clients entirely (it only emitted provider rows), so
+// every export/import cycle silently shrank the Do53 baseline —
+// exactly the loss a sharded merge would multiply by shard count.
+func TestCSVRoundTripDo53OnlyClient(t *testing.T) {
+	ds := &Dataset{
+		Clients: []ClientRecord{
+			{
+				ClientID: "c-doh", CountryCode: "BR", Prefix: "10.0.0.0/24",
+				Do53Ms: 50, Do53Valid: true,
+				DoH: map[anycast.ProviderID]DoHResult{
+					anycast.Cloudflare: {TDoHMs: 100, TDoHRMs: 40, PoPID: "p", PoPCountry: "BR", Valid: true},
+				},
+			},
+			{
+				ClientID: "c-do53-only", CountryCode: "BR", Prefix: "10.0.1.0/24",
+				Do53Ms: 77.25, Do53Valid: true,
+				DoH: map[anycast.ProviderID]DoHResult{
+					anycast.Cloudflare: {Valid: false},
+				},
+			},
+		},
+		AtlasDo53Ms: map[string]float64{},
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Clients) != 2 {
+		t.Fatalf("round trip kept %d clients, want 2 (Do53-only client dropped)", len(got.Clients))
+	}
+	var found bool
+	for _, c := range got.Clients {
+		if c.ClientID != "c-do53-only" {
+			continue
+		}
+		found = true
+		if !c.Do53Valid || c.Do53Ms != 77.25 {
+			t.Errorf("Do53-only client mangled: %+v", c)
+		}
+		if len(c.DoH) != 0 {
+			t.Errorf("Do53-only client grew DoH results: %+v", c.DoH)
+		}
+	}
+	if !found {
+		t.Fatal("Do53-only client missing after round trip")
+	}
+	// And the round trip is stable: exporting the reimported dataset
+	// reproduces the same bytes.
+	var again bytes.Buffer
+	if err := got.WriteCSV(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Errorf("second export differs:\nfirst:\n%s\nsecond:\n%s", buf.String(), again.String())
+	}
+}
+
+// TestReadCSVDuplicateMetadataMismatch pins bugfix #2: repeated rows
+// for one client must carry identical metadata columns. The pre-fix
+// reader silently kept the first row's values, so a corrupt merge
+// (two sources disagreeing on a client's geography or Do53 baseline)
+// imported without complaint.
+func TestReadCSVDuplicateMetadataMismatch(t *testing.T) {
+	head := strings.Join(csvHeader, ",") + "\n"
+	base := "c1,BR,10.0.0.0/24,1.0000,2.0000,3.0000,50.0000,true,cloudflare,100,40,p,BR,1,1\n"
+	cases := map[string]string{
+		"do53 value":  "c1,BR,10.0.0.0/24,1.0000,2.0000,3.0000,51.0000,true,google,100,40,p,BR,1,1\n",
+		"do53 flag":   "c1,BR,10.0.0.0/24,1.0000,2.0000,3.0000,50.0000,false,google,100,40,p,BR,1,1\n",
+		"country":     "c1,US,10.0.0.0/24,1.0000,2.0000,3.0000,50.0000,true,google,100,40,p,BR,1,1\n",
+		"latitude":    "c1,BR,10.0.0.0/24,1.5000,2.0000,3.0000,50.0000,true,google,100,40,p,BR,1,1\n",
+		"prefix":      "c1,BR,10.9.0.0/24,1.0000,2.0000,3.0000,50.0000,true,google,100,40,p,BR,1,1\n",
+		"ns distance": "c1,BR,10.0.0.0/24,1.0000,2.0000,9.0000,50.0000,true,google,100,40,p,BR,1,1\n",
+	}
+	for field, dup := range cases {
+		if _, err := ReadCSV(strings.NewReader(head+base+dup), nil); err == nil {
+			t.Errorf("mismatching duplicate %s accepted", field)
+		}
+	}
+	// Identical metadata on repeated rows stays fine (the normal
+	// multi-provider layout).
+	same := "c1,BR,10.0.0.0/24,1.0000,2.0000,3.0000,50.0000,true,google,100,40,p,BR,1,1\n"
+	ds, err := ReadCSV(strings.NewReader(head+base+same), nil)
+	if err != nil {
+		t.Fatalf("consistent duplicate rejected: %v", err)
+	}
+	if len(ds.Clients) != 1 || len(ds.Clients[0].DoH) != 2 {
+		t.Fatalf("consistent duplicate misparsed: %+v", ds.Clients)
+	}
+}
+
+// TestReadCSVRejectsCorruptMergeShapes covers the remaining strictness
+// the merge path relies on: duplicated providers and malformed
+// provider-less rows fail loudly instead of importing garbage.
+func TestReadCSVRejectsCorruptMergeShapes(t *testing.T) {
+	head := strings.Join(csvHeader, ",") + "\n"
+	meta := "c1,BR,10.0.0.0/24,1.0000,2.0000,3.0000,50.0000,true,"
+	provider := meta + "cloudflare,100,40,p,BR,1,1\n"
+	bareRow := meta + ",,,,,,\n"
+	cases := map[string]string{
+		"duplicate provider":            provider + provider,
+		"provider-less after provider":  provider + bareRow,
+		"provider after provider-less":  bareRow + provider,
+		"duplicate provider-less":       bareRow + bareRow,
+		"provider-less with DoH column": meta + ",100,,,,,\n",
+	}
+	for shape, body := range cases {
+		if _, err := ReadCSV(strings.NewReader(head+body), nil); err == nil {
+			t.Errorf("%s accepted", shape)
+		}
+	}
+	// A lone provider-less row is the valid Do53-only layout.
+	ds, err := ReadCSV(strings.NewReader(head+bareRow), nil)
+	if err != nil {
+		t.Fatalf("valid provider-less row rejected: %v", err)
+	}
+	if len(ds.Clients) != 1 || len(ds.Clients[0].DoH) != 0 || !ds.Clients[0].Do53Valid {
+		t.Fatalf("provider-less row misparsed: %+v", ds.Clients)
+	}
+}
+
 func TestCSVAnalysisEquivalence(t *testing.T) {
 	// Analyses over the exported-and-reimported dataset must match
 	// analyses over the original.

@@ -40,6 +40,24 @@ func goldenDataset() *Dataset {
 				},
 			},
 			{
+				// Do53-only client: every DoH result invalid, but the
+				// Do53 baseline is valid — exports as one provider-less
+				// row (empty provider and DoH columns). These clients
+				// used to be dropped from the export entirely, silently
+				// shrinking the Do53 baseline on every round-trip.
+				ClientID:     "exit-CL-000003",
+				CountryCode:  "CL",
+				Prefix:       "190.110.20.0/24",
+				Pos:          geo.Point{Lat: -33.45, Lon: -70.6667},
+				NSDistanceKm: 7920.125,
+				Do53Ms:       88.5,
+				Do53Valid:    true,
+				DoH: map[anycast.ProviderID]DoHResult{
+					anycast.Cloudflare: {Valid: false},
+					anycast.Google:     {Valid: false},
+				},
+			},
+			{
 				ClientID:     "exit-US-000002",
 				CountryCode:  "US",
 				Prefix:       "73.158.4.0/24",
@@ -131,9 +149,14 @@ func TestWriteCSVInvalidDo53Contract(t *testing.T) {
 	if strings.Contains(out, "google") {
 		t.Errorf("invalid provider result exported:\n%s", out)
 	}
+	// A client with a valid Do53 baseline and no valid DoH exports as a
+	// provider-less row: metadata columns filled, all DoH columns empty.
+	if !strings.Contains(out, ",88.5000,true,,,,,,,\n") {
+		t.Errorf("Do53-only client not exported as a provider-less row:\n%s", out)
+	}
 	lines := strings.Count(out, "\n")
-	if lines != 3 { // header + cloudflare row + quad9 row
-		t.Errorf("export has %d lines, want 3", lines)
+	if lines != 4 { // header + cloudflare row + CL provider-less row + quad9 row
+		t.Errorf("export has %d lines, want 4", lines)
 	}
 
 	// Round trip keeps the flag, so filtering survives re-import.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/proxynet"
+	"repro/internal/sketch"
 )
 
 // Observability aggregation: Run assembles the campaign's registry
@@ -14,6 +15,15 @@ import (
 // would break under parallel workers), so everything here is fed from
 // the already-deterministic Dataset and per-country accounting. The
 // snapshot is therefore identical for any Config.Parallel.
+//
+// Latency histograms route through internal/sketch: each country's
+// clients are reduced to a keyed sketch set (the keys ARE the obs
+// metric names), country sketches merge exactly into Dataset.Sketch,
+// and the registry histograms — registered on the sketch's canonical
+// bucket layout — absorb the merged buckets verbatim. The same
+// pipeline therefore serves a single process, the DiscardClients
+// constant-memory mode, and N merged shards, all with identical
+// histogram snapshots.
 
 // msDuration converts a dataset's millisecond float back into a
 // duration for histogram observation.
@@ -21,44 +31,76 @@ func msDuration(ms float64) time.Duration {
 	return time.Duration(ms * float64(time.Millisecond))
 }
 
-// observeClients feeds every kept client's estimates into the
-// per-provider and per-country latency histograms:
+// sketchClients reduces client records to the campaign's mergeable
+// latency sketches:
 //
 //	campaign_doh_<provider>_ms    first-query DoH estimate per provider
 //	campaign_dohr_<provider>_ms   reused-connection estimate
 //	campaign_country_<code>_doh_ms  all providers' DoH, per country
 //	campaign_do53_ms              valid default-resolver estimates
 //	campaign_dot_<provider>_ms    unblocked DoT ground truth
-func observeClients(reg *obs.Registry, clients []ClientRecord) {
+//
+// A country histogram is registered (Touch) for every client's
+// country even when no DoH result is valid, so sketched and merged
+// datasets expose the same metric keys a direct run would.
+func sketchClients(clients []ClientRecord) *sketch.Set {
+	s := sketch.NewSet()
 	for i := range clients {
 		c := &clients[i]
-		countryDoH := reg.Histogram("campaign_country_"+c.CountryCode+"_doh_ms", nil)
+		countryDoH := s.Touch("campaign_country_" + c.CountryCode + "_doh_ms")
 		for pid, res := range c.DoH {
 			if !res.Valid {
 				continue
 			}
 			d := msDuration(res.TDoHMs)
-			reg.Histogram("campaign_doh_"+string(pid)+"_ms", nil).Observe(d)
-			reg.Histogram("campaign_dohr_"+string(pid)+"_ms", nil).Observe(msDuration(res.TDoHRMs))
+			s.Observe("campaign_doh_"+string(pid)+"_ms", d)
+			s.Observe("campaign_dohr_"+string(pid)+"_ms", msDuration(res.TDoHRMs))
 			countryDoH.Observe(d)
 		}
 		if c.Do53Valid {
-			reg.Histogram("campaign_do53_ms", nil).Observe(msDuration(c.Do53Ms))
+			s.Observe("campaign_do53_ms", msDuration(c.Do53Ms))
 		}
 		for pid, res := range c.DoT {
 			if !res.Valid {
 				continue
 			}
-			reg.Histogram("campaign_dot_"+string(pid)+"_ms", nil).Observe(msDuration(res.TDoTMs))
+			s.Observe("campaign_dot_"+string(pid)+"_ms", msDuration(res.TDoTMs))
 		}
 	}
+	return s
+}
+
+// absorbSketch registers one histogram per sketch key — on the
+// sketch's own bucket layout — and folds the aggregated buckets in.
+// Exact: the resulting histograms are indistinguishable from ones fed
+// the original observation stream.
+func absorbSketch(reg *obs.Registry, s *sketch.Set) error {
+	if s == nil {
+		return nil
+	}
+	bounds := sketch.LatencyBounds()
+	for _, key := range s.Keys() {
+		h := s.Get(key)
+		if err := reg.Histogram(key, bounds).Absorb(h.BucketCounts(), h.Count(), h.Sum()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // publishAccounting exports the campaign's drop accounting and the
 // merged simulator counters. Gauges, not counters: the source of
 // truth stays the Dataset, and publishing is idempotent.
 func publishAccounting(reg *obs.Registry, ds *Dataset, sim proxynet.SimStats) {
-	reg.Gauge("campaign_clients").Set(float64(len(ds.Clients)))
+	publishDataset(reg, ds)
+	publishSim(reg, sim)
+}
+
+// publishDataset exports the accounting a dataset itself carries —
+// the part that survives a merge or a CSV release. (The simulator
+// gauges below are per-run and only a live campaign can publish them.)
+func publishDataset(reg *obs.Registry, ds *Dataset) {
+	reg.Gauge("campaign_clients").Set(float64(ds.KeptClients))
 	reg.Gauge("campaign_discarded_mismatch").Set(float64(ds.DiscardedMismatch))
 	reg.Gauge("campaign_discarded_implausible").Set(float64(ds.DiscardedImplausible))
 	for kind, ts := range ds.Transports {
@@ -80,6 +122,10 @@ func publishAccounting(reg *obs.Registry, ds *Dataset, sim proxynet.SimStats) {
 	for code, med := range ds.AtlasDo53Ms {
 		reg.Gauge("campaign_atlas_do53_ms_" + code).Set(med)
 	}
+}
+
+// publishSim exports the merged per-country simulator counters.
+func publishSim(reg *obs.Registry, sim proxynet.SimStats) {
 	reg.Gauge("campaign_sim_loss_events").Set(float64(sim.LossEvents))
 	reg.Gauge("campaign_sim_dot_blocked").Set(float64(sim.DoTBlocked))
 	reg.Gauge("campaign_sim_exit_nodes").Set(float64(sim.ExitNodes))

@@ -1,0 +1,397 @@
+package campaign
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/world"
+)
+
+func TestShardCountriesPartition(t *testing.T) {
+	countries := []string{"US", "BR", "IT", "NG", "AR", "MX", "ID"}
+	const total = 3
+	seen := map[string]int{}
+	for i := 0; i < total; i++ {
+		part, err := ShardCountries(countries, i, total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part) == 0 {
+			t.Errorf("shard %d/%d is empty", i, total)
+		}
+		for _, code := range part {
+			if prev, dup := seen[code]; dup {
+				t.Errorf("country %s assigned to shards %d and %d", code, prev, i)
+			}
+			seen[code] = i
+		}
+		// Deterministic: recomputing the same shard yields the same list.
+		again, err := ShardCountries(countries, i, total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(part, again) {
+			t.Errorf("shard %d/%d not deterministic: %v vs %v", i, total, part, again)
+		}
+	}
+	if len(seen) != len(countries) {
+		t.Errorf("shards cover %d of %d countries", len(seen), len(countries))
+	}
+
+	// Input order must not matter: the partition is over the sorted list.
+	shuffled := []string{"ID", "AR", "US", "MX", "BR", "NG", "IT"}
+	a, _ := ShardCountries(countries, 1, total)
+	b, _ := ShardCountries(shuffled, 1, total)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("shard assignment depends on input order: %v vs %v", a, b)
+	}
+
+	// nil means the whole world dataset.
+	var all []string
+	for i := 0; i < total; i++ {
+		part, err := ShardCountries(nil, i, total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, part...)
+	}
+	sort.Strings(all)
+	var want []string
+	for _, ct := range world.All() {
+		want = append(want, ct.Code)
+	}
+	sort.Strings(want)
+	if !reflect.DeepEqual(all, want) {
+		t.Errorf("nil-country shards do not cover the world dataset: %d vs %d codes", len(all), len(want))
+	}
+
+	// Bounds checking.
+	for _, bad := range []struct{ index, total int }{
+		{0, 0}, {0, -1}, {-1, 2}, {2, 2}, {5, 3},
+	} {
+		if _, err := ShardCountries(countries, bad.index, bad.total); err == nil {
+			t.Errorf("ShardCountries(%d, %d) accepted", bad.index, bad.total)
+		}
+	}
+}
+
+// TestShardMergeByteIdenticalCSV is the heart of the scale-out
+// contract: run the same campaign unsharded and as three shards, push
+// every shard through the CSV export/import cycle a real scale-out
+// uses, merge, and require the merged exports to be byte-identical to
+// the unsharded run's.
+func TestShardMergeByteIdenticalCSV(t *testing.T) {
+	countries := []string{"BR", "US", "IT", "NG", "AR", "MX", "ID", "DE", "TH"}
+	cfg := smallConfig(countries...)
+	unsharded, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exportAll(t, unsharded)
+	// The analysis/sketch comparisons below go against the reimported
+	// unsharded dataset: the shard parts pass through the CSV's
+	// 4-decimal rounding, so that — not the in-memory run — is the
+	// like-for-like reference. The byte-identity check against the
+	// in-memory run's export stays the primary contract.
+	var umain, uatlas bytes.Buffer
+	if err := unsharded.WriteCSV(&umain); err != nil {
+		t.Fatal(err)
+	}
+	if err := unsharded.WriteAtlasCSV(&uatlas); err != nil {
+		t.Fatal(err)
+	}
+	reimported, err := ReadCSV(&umain, &uatlas)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 3
+	parts := make([]*Dataset, shards)
+	for i := 0; i < shards; i++ {
+		sub, err := ShardCountries(countries, i, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scfg := cfg
+		scfg.Countries = sub
+		ds, err := Run(scfg)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		var main, atlas bytes.Buffer
+		if err := ds.WriteCSV(&main); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteAtlasCSV(&atlas); err != nil {
+			t.Fatal(err)
+		}
+		parts[i], err = ReadCSV(&main, &atlas)
+		if err != nil {
+			t.Fatalf("shard %d reimport: %v", i, err)
+		}
+	}
+
+	merged, err := Merge(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exportAll(t, merged); !bytes.Equal(got, want) {
+		t.Error("sharded-then-merged CSV differs from unsharded run")
+	}
+	if merged.KeptClients != len(unsharded.Clients) {
+		t.Errorf("merged KeptClients = %d, want %d", merged.KeptClients, len(unsharded.Clients))
+	}
+
+	// Dataset-level analysis agrees too, not just the bytes.
+	for _, code := range countries {
+		wm, wok := reimported.CountryDo53Ms(code)
+		gm, gok := merged.CountryDo53Ms(code)
+		if wok != gok || wm != gm {
+			t.Errorf("CountryDo53Ms(%s) = %v,%v; unsharded %v,%v", code, gm, gok, wm, wok)
+		}
+	}
+	if !reflect.DeepEqual(reimported.AnalyzedCountries(3, nil), merged.AnalyzedCountries(3, nil)) {
+		t.Error("analyzed country sets differ between merged and unsharded datasets")
+	}
+
+	// The merged sketch is the exact integer merge of the shard
+	// sketches: same totals and quantiles as the unsharded run's.
+	for _, key := range reimported.Sketch.Keys() {
+		w, g := reimported.Sketch.Get(key), merged.Sketch.Get(key)
+		if g == nil {
+			t.Errorf("merged sketch missing %s", key)
+			continue
+		}
+		if w.Count() != g.Count() || w.Sum() != g.Sum() || w.Quantile(0.5) != g.Quantile(0.5) {
+			t.Errorf("sketch %s differs after merge: count %d/%d sum %d/%d",
+				key, w.Count(), g.Count(), w.Sum(), g.Sum())
+		}
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	mk := func() *Dataset {
+		return &Dataset{
+			Clients: []ClientRecord{
+				{ClientID: "c1", CountryCode: "BR", Do53Valid: true, Do53Ms: 10},
+			},
+			AtlasDo53Ms: map[string]float64{"US": 20},
+			KeptClients: 1,
+			Seed:        7,
+		}
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := Merge(mk(), nil); err == nil {
+		t.Error("nil part accepted")
+	}
+	if _, err := Merge(mk(), mk()); err == nil {
+		t.Error("duplicate client accepted")
+	}
+	other := mk()
+	other.Clients[0].ClientID = "c2"
+	if _, err := Merge(mk(), other); err == nil {
+		t.Error("country split across parts accepted")
+	}
+	reseeded := mk()
+	reseeded.Clients[0].ClientID = "c2"
+	reseeded.Clients[0].CountryCode = "US"
+	reseeded.Seed = 8
+	if _, err := Merge(mk(), reseeded); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+	badAtlas := mk()
+	badAtlas.Clients[0].ClientID = "c2"
+	badAtlas.Clients[0].CountryCode = "US"
+	badAtlas.AtlasDo53Ms["US"] = 21
+	if _, err := Merge(mk(), badAtlas); err == nil {
+		t.Error("Atlas disagreement accepted")
+	}
+
+	ok := mk()
+	ok.Clients[0].ClientID = "c2"
+	ok.Clients[0].CountryCode = "US"
+	merged, err := Merge(mk(), ok)
+	if err != nil {
+		t.Fatalf("valid merge rejected: %v", err)
+	}
+	if len(merged.Clients) != 2 || merged.KeptClients != 2 {
+		t.Errorf("merged accounting wrong: %d clients, KeptClients %d", len(merged.Clients), merged.KeptClients)
+	}
+	if merged.Clients[0].CountryCode != "BR" || merged.Clients[1].CountryCode != "US" {
+		t.Errorf("merged clients not in canonical country order: %+v", merged.Clients)
+	}
+}
+
+// TestClaimProtocolPartitionsCountries races two campaigns over the
+// SAME country list against one shared journal directory. The claim
+// protocol must partition the work exactly: every country measured by
+// exactly one run (no double-measure, no gap), and the merged result
+// byte-identical to a plain single-process run. Runs under -race in
+// the verify gate.
+func TestClaimProtocolPartitionsCountries(t *testing.T) {
+	countries := []string{"BR", "US", "IT", "NG", "AR", "MX"}
+	cfg := smallConfig(countries...)
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exportAll(t, ref)
+
+	dir := t.TempDir()
+	var mu sync.Mutex
+	measured := map[string][]string{}
+	owners := []string{"shard-a", "shard-b"}
+	results := make(map[string]*Dataset)
+	errs := make(map[string]error)
+	var wg sync.WaitGroup
+	for _, owner := range owners {
+		wg.Add(1)
+		go func(owner string) {
+			defer wg.Done()
+			c := cfg
+			c.CheckpointDir = dir
+			c.ClaimOwner = owner
+			c.Parallel = 2
+			c.OnCountryDone = func(code string, clients int, resumed bool) {
+				mu.Lock()
+				measured[owner] = append(measured[owner], code)
+				mu.Unlock()
+			}
+			ds, err := Run(c)
+			mu.Lock()
+			results[owner] = ds
+			errs[owner] = err
+			mu.Unlock()
+		}(owner)
+	}
+	wg.Wait()
+	for _, owner := range owners {
+		if errs[owner] != nil {
+			t.Fatalf("%s: %v", owner, errs[owner])
+		}
+	}
+
+	// Exact partition: disjoint and covering.
+	byCountry := map[string]string{}
+	for _, owner := range owners {
+		for _, code := range measured[owner] {
+			if prev, dup := byCountry[code]; dup {
+				t.Errorf("country %s measured by both %s and %s", code, prev, owner)
+			}
+			byCountry[code] = owner
+		}
+	}
+	if len(byCountry) != len(countries) {
+		t.Errorf("claims covered %d of %d countries: %v", len(byCountry), len(countries), byCountry)
+	}
+
+	merged, err := Merge(results[owners[0]], results[owners[1]])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exportAll(t, merged); !bytes.Equal(got, want) {
+		t.Error("claim-partitioned merge differs from single-process run")
+	}
+}
+
+// TestClaimResumeAfterCompletion re-runs a claiming shard against its
+// finished journal: claims survive completion, so the rerun restores
+// its own countries from the journal and still refuses the sibling's.
+func TestClaimResumeAfterCompletion(t *testing.T) {
+	countries := []string{"BR", "IT", "NG", "AR"}
+	dir := t.TempDir()
+	run := func(owner string, record *[]string) (*Dataset, error) {
+		c := smallConfig(countries...)
+		c.CheckpointDir = dir
+		c.ClaimOwner = owner
+		c.OnCountryDone = func(code string, clients int, resumed bool) {
+			if record != nil {
+				*record = append(*record, code)
+			}
+		}
+		return Run(c)
+	}
+	var first []string
+	dsA, err := run("shard-a", &first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(countries) {
+		t.Fatalf("uncontested shard measured %d of %d countries", len(first), len(countries))
+	}
+
+	// A different owner joining afterwards gets nothing: every country
+	// already belongs to shard-a's dataset.
+	var stolen []string
+	dsB, err := run("shard-b", &stolen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stolen) != 0 || len(dsB.Clients) != 0 {
+		t.Errorf("completed claims were re-assigned: measured %v, %d clients", stolen, len(dsB.Clients))
+	}
+
+	// The original owner re-running restores everything from the journal.
+	var rerun []string
+	dsA2, err := run("shard-a", &rerun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rerun) != len(countries) {
+		t.Errorf("owner rerun recovered %d of %d countries", len(rerun), len(countries))
+	}
+	if !bytes.Equal(exportAll(t, dsA), exportAll(t, dsA2)) {
+		t.Error("owner rerun differs from original run")
+	}
+}
+
+func TestClaimOwnerRequiresCheckpointDir(t *testing.T) {
+	cfg := smallConfig("BR")
+	cfg.ClaimOwner = "shard-1-of-2"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("ClaimOwner without CheckpointDir accepted")
+	}
+}
+
+// TestDiscardClientsKeepsAggregates pins the constant-memory mode:
+// with DiscardClients set, per-client records are dropped after
+// sketching but every aggregate — accounting, sketch, observability
+// snapshot — is identical to the retaining run's.
+func TestDiscardClientsKeepsAggregates(t *testing.T) {
+	cfg := smallConfig("BR", "IT", "NG")
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lean := cfg
+	lean.DiscardClients = true
+	ds, err := Run(lean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Clients) != 0 {
+		t.Errorf("DiscardClients retained %d client records", len(ds.Clients))
+	}
+	if ds.KeptClients != len(full.Clients) {
+		t.Errorf("KeptClients = %d, want %d", ds.KeptClients, len(full.Clients))
+	}
+	if !reflect.DeepEqual(ds.Obs, full.Obs) {
+		t.Error("observability snapshot differs between discard and retain runs")
+	}
+	for kind, ts := range full.Transports {
+		if ds.Transports[kind] != ts {
+			t.Errorf("%s accounting differs between discard and retain runs", kind)
+		}
+	}
+	for _, key := range full.Sketch.Keys() {
+		w, g := full.Sketch.Get(key), ds.Sketch.Get(key)
+		if g == nil || w.Count() != g.Count() || w.Sum() != g.Sum() {
+			t.Errorf("sketch %s differs in discard mode", key)
+		}
+	}
+}

@@ -104,6 +104,32 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return atomic.LoadInt64(&h.count) }
 
+// Absorb folds pre-aggregated bucket counts into the histogram, as if
+// every underlying observation had been passed to Observe. counts must
+// have exactly len(bounds)+1 entries on the same bucket layout this
+// histogram was registered with (the last entry is the overflow
+// bucket); count is the total observation count and sum their exact
+// total duration. The merge is integer addition per bucket, so
+// absorbing is exact — a histogram fed via Absorb from mergeable
+// sketches (internal/sketch) is indistinguishable from one fed the
+// original stream. Safe for concurrent use with Observe.
+func (h *Histogram) Absorb(counts []int64, count int64, sum time.Duration) error {
+	if len(counts) != len(h.counts) {
+		return fmt.Errorf("obs: Absorb got %d buckets, histogram has %d", len(counts), len(h.counts))
+	}
+	for i, n := range counts {
+		if n < 0 {
+			return fmt.Errorf("obs: Absorb bucket %d has negative count %d", i, n)
+		}
+		if n != 0 {
+			atomic.AddInt64(&h.counts[i], n)
+		}
+	}
+	atomic.AddInt64(&h.sum, int64(sum))
+	atomic.AddInt64(&h.count, count)
+	return nil
+}
+
 // DefaultLatencyBuckets is the standard resolution-latency bucket
 // layout: sub-millisecond to one minute, roughly logarithmic. It
 // covers everything from a reused-connection loopback exchange to a

@@ -64,8 +64,13 @@ func TestECDF(t *testing.T) {
 			t.Errorf("At(%f) = %f, want %f", tc.x, got, tc.want)
 		}
 	}
-	if e.InverseAt(0.5) != 3 {
+	// InverseAt uses the same type-7 interpolation as Quantile: the
+	// median of {1,2,3,4} is 2.5, not the truncating pick of 3.
+	if e.InverseAt(0.5) != 2.5 {
 		t.Errorf("InverseAt(0.5) = %f", e.InverseAt(0.5))
+	}
+	if e.InverseAt(0) != 1 || e.InverseAt(1) != 4 {
+		t.Errorf("InverseAt extremes = %f, %f", e.InverseAt(0), e.InverseAt(1))
 	}
 	pts := e.Points(3)
 	if len(pts) != 3 || pts[0][0] != 1 || pts[2][0] != 4 {
@@ -343,6 +348,35 @@ func TestPearson(t *testing.T) {
 	}
 	if r, _ := Pearson(a, b); math.Abs(r) > 0.1 {
 		t.Errorf("independent Pearson = %f", r)
+	}
+}
+
+func TestInverseAtMatchesQuantile(t *testing.T) {
+	// InverseAt and Quantile are the same estimator; they must agree
+	// exactly at every q over arbitrary samples. The old truncating
+	// int(q*n) indexing disagreed (e.g. median of {1,2,3,4}: 3 vs 2.5),
+	// which skewed figure series against sketch-derived quantiles.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0.0; q <= 1.0001; q += 0.01 {
+			qq := math.Min(q, 1)
+			want, err := Quantile(xs, qq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := e.InverseAt(qq); got != want {
+				t.Fatalf("trial %d n=%d q=%.2f: InverseAt=%g Quantile=%g", trial, n, qq, got, want)
+			}
+		}
 	}
 }
 

@@ -25,6 +25,16 @@ go test -race ./internal/serve/...
 step "chaos soak (short, race)"
 go test -race -run TestChaosSoak -short ./internal/campaign/
 
+step "scale-out gates (golden merge + claim partition, race)"
+go test -race -run 'TestShardMergeByteIdenticalCSV|TestClaimProtocolPartitionsCountries' \
+	./internal/campaign/
+go test -race -run 'TestClaimExactlyOneWinner' ./internal/checkpoint/
+go test -run 'TestShardedAnalysisIdentical' ./internal/analysis/
+
+step "round-trip bugfix gates"
+go test -run 'TestCSVRoundTripDo53OnlyClient|TestReadCSVDuplicateMetadataMismatch|TestWriteCSVGolden' \
+	./internal/campaign/
+
 step "serve soak (short, race)"
 go test -race -run TestServeSoak -short ./internal/serve/
 
