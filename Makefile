@@ -19,3 +19,4 @@ bench:
 	$(GO) run ./cmd/benchwire -o BENCH_wire.json
 	$(GO) run ./cmd/benchserve -o BENCH_serve.json
 	$(GO) run ./cmd/benchcampaign -o BENCH_campaign.json
+	$(GO) run ./cmd/benchsmart -o BENCH_smart.json

@@ -11,6 +11,8 @@
 //	dohquery -do53 ... -retries 3 -hedge 50ms example.com
 //	dohquery -doh https://... -n 20 -breaker 5 example.com   # circuit-break a dead endpoint
 //	dohquery -doh https://... -n 10 -cache 1024 example.com  # warm hits from the client cache
+//	dohquery -transport smart -doh https://... -dot ADDR -do53 ADDR -n 5 example.com
+//	                                                         # race the endpoints, remember the winner
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"repro/internal/dot"
 	"repro/internal/obs"
 	"repro/internal/resolver"
+	"repro/internal/smart"
 	"repro/internal/tlsutil"
 )
 
@@ -48,11 +51,17 @@ func main() {
 	staleTTL := flag.Duration("stale-ttl", 0, "client cache: serve expired entries for this window while refreshing in the background (RFC 8767)")
 	prefetch := flag.Duration("prefetch", 0, "client cache: refresh popular entries whose remaining TTL drops below this horizon")
 	dumpMetrics := flag.Bool("metrics", false, "dump the metrics registry (text exposition format) to stderr on exit")
+	transport := flag.String("transport", "auto", `transport selection: "auto" uses the single configured endpoint; "smart" races every configured endpoint (-doh/-dot/-do53) and remembers the winner`)
+	stagger := flag.Duration("stagger", 0, "smart racing: happy-eyeballs delay between candidate launches (0 = default)")
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) < 1 || (*dohURL == "" && *do53 == "" && *dotAddr == "") {
-		fmt.Fprintln(os.Stderr, "usage: dohquery (-doh URL | -do53 ADDR | -dot ADDR) [-n N] [-retries K] [-hedge D] name [type]")
+		fmt.Fprintln(os.Stderr, "usage: dohquery (-doh URL | -do53 ADDR | -dot ADDR) [-transport smart] [-n N] [-retries K] [-hedge D] name [type]")
+		os.Exit(2)
+	}
+	if *transport != "auto" && *transport != "smart" {
+		fmt.Fprintf(os.Stderr, "dohquery: unknown -transport %q (want auto or smart)\n", *transport)
 		os.Exit(2)
 	}
 	name := dnswire.NewName(args[0])
@@ -82,10 +91,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*n)*(*timeout))
 	defer cancel()
 
-	var base resolver.Resolver
-	var kind resolver.Kind
-	switch {
-	case *dohURL != "":
+	// Endpoint builders, shared by the single-transport path and the
+	// smart racing composite.
+	buildDoH := func() resolver.Resolver {
 		// Size the idle pool to the hedge fan-out: the default of 4
 		// would discard connections above the cap after a wider hedge
 		// burst, forcing re-dials that inflate t_DoHR.
@@ -98,20 +106,25 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		base = resolver.NewDoH(c)
-		kind = resolver.DoH
-	case *dotAddr != "":
+		return resolver.NewDoH(c)
+	}
+	var closers []func() error
+	buildDoT := func() resolver.Resolver {
 		c := &dot.Client{Addr: *dotAddr, Timeout: *timeout}
 		if *insecure {
 			c.TLSConfig = tlsutil.InsecureClientConfig()
 		}
-		defer c.Close()
-		base = resolver.NewDoT(c)
-		kind = resolver.DoT
-	default:
-		base = resolver.NewDo53(*do53, &dnsclient.Client{Timeout: *timeout})
-		kind = resolver.Do53
+		closers = append(closers, c.Close)
+		return resolver.NewDoT(c)
 	}
+	buildDo53 := func() resolver.Resolver {
+		return resolver.NewDo53(*do53, &dnsclient.Client{Timeout: *timeout})
+	}
+	defer func() {
+		for _, close := range closers {
+			close()
+		}
+	}()
 
 	metrics := &resolver.Metrics{}
 	reg := obs.NewRegistry()
@@ -121,15 +134,8 @@ func main() {
 		HedgeMax:       *hedgeMax,
 		Metrics:        metrics,
 	}
-	if *dumpMetrics {
-		pol.Registry = reg
-		pol.Kind = kind
-	}
 	if *retries > 0 {
 		pol.Retry = &resolver.RetryPolicy{MaxAttempts: *retries + 1}
-	}
-	if *breaker > 0 {
-		pol.Breaker = &resolver.BreakerPolicy{FailureThreshold: *breaker}
 	}
 	var answers *cache.Cache
 	if *cacheSize > 0 {
@@ -138,12 +144,79 @@ func main() {
 			StaleTTL:          *staleTTL,
 			PrefetchThreshold: *prefetch,
 		})
-		pol.Cache = answers
 		if *dumpMetrics {
 			answers.Instrument(reg, "cache")
 		}
 	}
-	res := resolver.Apply(base, pol)
+
+	var res resolver.Resolver
+	var kind resolver.Kind
+	var sm *smart.Resolver
+	if *transport == "smart" {
+		// Every configured endpoint becomes a race candidate under its
+		// own policy stack; the smart layer feeds each candidate's
+		// breaker from race and probe outcomes, so an open breaker
+		// evicts the candidate from the winner slot and excludes it
+		// from races instead of failing queries.
+		var cands []smart.Candidate
+		add := func(k resolver.Kind, base resolver.Resolver) {
+			cp := pol
+			if *dumpMetrics {
+				cp.Registry = reg
+				cp.Kind = k
+			}
+			var brk *resolver.Breaker
+			if *breaker > 0 {
+				brk = resolver.NewBreaker(resolver.BreakerPolicy{FailureThreshold: *breaker})
+			}
+			cands = append(cands, smart.Candidate{Kind: k, Resolver: resolver.Apply(base, cp), Breaker: brk})
+		}
+		if *dohURL != "" {
+			add(resolver.DoH, buildDoH())
+		}
+		if *dotAddr != "" {
+			add(resolver.DoT, buildDoT())
+		}
+		if *do53 != "" {
+			add(resolver.Do53, buildDo53())
+		}
+		cfg := smart.Config{Candidates: cands}
+		cfg.Stagger = *stagger
+		if *dumpMetrics {
+			cfg.Registry = reg
+		}
+		var err error
+		sm, err = smart.New(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("-transport smart needs at least two of -doh/-dot/-do53: %w", err))
+		}
+		defer sm.Close()
+		res, kind = sm, resolver.Smart
+		if answers != nil {
+			// The answer cache wraps the composite, not each candidate:
+			// a hit must skip the race entirely.
+			res = resolver.Apply(res, resolver.Policy{Cache: answers})
+		}
+	} else {
+		var base resolver.Resolver
+		switch {
+		case *dohURL != "":
+			base, kind = buildDoH(), resolver.DoH
+		case *dotAddr != "":
+			base, kind = buildDoT(), resolver.DoT
+		default:
+			base, kind = buildDo53(), resolver.Do53
+		}
+		if *dumpMetrics {
+			pol.Registry = reg
+			pol.Kind = kind
+		}
+		if *breaker > 0 {
+			pol.Breaker = &resolver.BreakerPolicy{FailureThreshold: *breaker}
+		}
+		pol.Cache = answers
+		res = resolver.Apply(base, pol)
+	}
 
 	for i := 0; i < *n; i++ {
 		qname := name
@@ -166,6 +239,18 @@ func main() {
 	if snap.Retries > 0 || snap.Hedges > 0 || snap.Failures > 0 {
 		fmt.Printf(";; policy: attempts=%d retries=%d hedges=%d failures=%d\n",
 			snap.Attempts, snap.Retries, snap.Hedges, snap.Failures)
+	}
+	if sm != nil {
+		sm.Close() // wait out background probes so the stats are final
+		st := sm.Stats()
+		fmt.Printf(";; smart: %d remembered / %d races, %d probes, %d switches, %d evictions\n",
+			st.Remembered, st.Races, st.Probes, st.Switches, st.Evictions)
+		wins := sm.WinsByKind()
+		for _, k := range resolver.Kinds() {
+			if wins[k] > 0 {
+				fmt.Printf(";; smart: %s won %d race(s)\n", k, wins[k])
+			}
+		}
 	}
 	if answers != nil {
 		answers.Wait() // drain background refreshes before reporting

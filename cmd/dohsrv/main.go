@@ -27,6 +27,7 @@ import (
 	"repro/internal/recursive"
 	"repro/internal/resolver"
 	"repro/internal/serve"
+	"repro/internal/smart"
 	"repro/internal/tlsutil"
 )
 
@@ -59,6 +60,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8443", "HTTPS listen address")
 	zone := flag.String("zone", "a.com", "measurement zone routed to -upstream")
 	upstream := flag.String("upstream", "127.0.0.1:5300", "authoritative server for the zone")
+	upstreamDoT := flag.String("upstream-dot", "", "additional DoT endpoint for the zone (host:port); when set, forwarded queries race Do53 vs DoT and remember the per-name winner (TLS unverified: test authoritatives are self-signed)")
 	certFile := flag.String("cert", "", "TLS certificate (PEM); self-signed if empty")
 	keyFile := flag.String("key", "", "TLS key (PEM)")
 	plain := flag.Bool("plain", false, "serve plain HTTP instead of HTTPS")
@@ -88,15 +90,50 @@ func main() {
 	// one retry and a per-attempt timeout, so a single dropped UDP
 	// datagram to the authoritative server no longer fails the whole
 	// DoH request. The registry records per-phase histograms for every
-	// forwarded query (resolver_do53_* on /metrics).
-	res.AddZone(dnswire.NewName(*zone), resolver.UpstreamAdapter{
-		R: resolver.Apply(resolver.NewDo53(*upstream, nil), resolver.Policy{
-			Retry:          &resolver.RetryPolicy{MaxAttempts: 2},
-			AttemptTimeout: 3 * time.Second,
-			Registry:       reg,
-			Kind:           resolver.Do53,
-		}),
+	// forwarded query (resolver_do53_* on /metrics). With -upstream-dot
+	// the forwarder becomes a smart racing composite: Do53 and DoT
+	// race per query name, the winner is remembered, and each
+	// candidate's breaker evicts a dead endpoint from the winner slot
+	// (smart_* series land on /metrics).
+	do53Up := resolver.Apply(resolver.NewDo53(*upstream, nil), resolver.Policy{
+		Retry:          &resolver.RetryPolicy{MaxAttempts: 2},
+		AttemptTimeout: 3 * time.Second,
+		Registry:       reg,
+		Kind:           resolver.Do53,
 	})
+	var forwarder resolver.Resolver = do53Up
+	if *upstreamDoT != "" {
+		dotUp := resolver.Apply(
+			resolver.NewDoT(&dot.Client{
+				Addr:      *upstreamDoT,
+				Timeout:   3 * time.Second,
+				TLSConfig: tlsutil.InsecureClientConfig(),
+			}),
+			resolver.Policy{Registry: reg, Kind: resolver.DoT},
+		)
+		sm, err := smart.New(smart.Config{
+			Candidates: []smart.Candidate{
+				{Kind: resolver.Do53, Resolver: do53Up,
+					Breaker: resolver.NewBreaker(resolver.BreakerPolicy{FailureThreshold: 3})},
+				{Kind: resolver.DoT, Resolver: dotUp,
+					Breaker: resolver.NewBreaker(resolver.BreakerPolicy{FailureThreshold: 3})},
+			},
+			KeyFunc: func(q *dnswire.Message) string {
+				if len(q.Questions) == 0 {
+					return ""
+				}
+				return string(q.Questions[0].Name)
+			},
+			Registry: reg,
+		})
+		if err != nil {
+			log.Fatalf("dohsrv: smart forwarder: %v", err)
+		}
+		defer sm.Close()
+		forwarder = sm
+		fmt.Printf("dohsrv: racing zone upstreams %s (do53) and %s (dot)\n", *upstream, *upstreamDoT)
+	}
+	res.AddZone(dnswire.NewName(*zone), resolver.UpstreamAdapter{R: forwarder})
 	handler := dohserver.NewHandler(res)
 
 	var dotSrv *dot.Server

@@ -68,7 +68,7 @@ func main() {
 	importDir := flag.String("import", "", "directory with a dataset release to analyze instead of running a campaign")
 	timeline := flag.String("timeline", "", "print one sample measurement's 22-step Figure-2 timeline for a country code and exit")
 	figures := flag.String("figures", "", "directory to write plottable figure series (figure*.csv)")
-	transports := flag.String("transports", "", "comma-separated transports to measure (do53,doh,dot; default: the paper's do53,doh)")
+	transports := flag.String("transports", "", "comma-separated transports to measure (do53,doh,dot,doq, plus the derived smart racing strategy; default: the paper's do53,doh)")
 	metrics := flag.String("metrics", "", "write the campaign metrics snapshot in text exposition format (\"-\" = stderr, else a file path)")
 	resume := flag.String("resume", "", "checkpoint directory: journal each completed country and skip journaled ones on re-run")
 	breaker := flag.Int("breaker", 0, "circuit breaker: per provider×country, trip after this many consecutive failures (0 disables)")
@@ -178,6 +178,15 @@ func main() {
 				kind, bs.Trips, bs.ShortCircuits, bs.Probes, bs.EndedOpen)
 		}
 	}
+	if len(suite.Dataset.SmartWins) > 0 {
+		var parts []string
+		for _, kind := range resolver.Kinds() {
+			if n, ok := suite.Dataset.SmartWins[kind]; ok {
+				parts = append(parts, fmt.Sprintf("%s=%d", kind, n))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "worldstudy: smart race wins: %s\n", strings.Join(parts, " "))
+	}
 	if guard != nil {
 		st := guard.Stats()
 		status := "cache busting held"
@@ -278,7 +287,20 @@ func exportDataset(ds *campaign.Dataset, dir string) error {
 	if err := ds.WriteAtlasCSV(&buf); err != nil {
 		return err
 	}
-	return checkpoint.WriteFileAtomic(filepath.Join(dir, "atlas_do53.csv"), buf.Bytes(), 0o644)
+	if err := checkpoint.WriteFileAtomic(filepath.Join(dir, "atlas_do53.csv"), buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	// The smart racing strategy is a side table (smart.csv): the main
+	// dataset.csv column set is pinned by the golden tests, and the
+	// derived fifth column only exists when the campaign measured it.
+	if ds.SmartWins == nil {
+		return nil
+	}
+	buf.Reset()
+	if err := ds.WriteSmartCSV(&buf); err != nil {
+		return err
+	}
+	return checkpoint.WriteFileAtomic(filepath.Join(dir, "smart.csv"), buf.Bytes(), 0o644)
 }
 
 // readDataset loads one dataset release directory.
@@ -293,7 +315,17 @@ func readDataset(dir string) (*campaign.Dataset, error) {
 		defer f.Close()
 		atlas = f
 	}
-	return campaign.ReadCSV(main, atlas)
+	ds, err := campaign.ReadCSV(main, atlas)
+	if err != nil {
+		return nil, err
+	}
+	if f, err := os.Open(filepath.Join(dir, "smart.csv")); err == nil {
+		defer f.Close()
+		if err := ds.ReadSmartCSV(f); err != nil {
+			return nil, fmt.Errorf("smart.csv: %w", err)
+		}
+	}
+	return ds, nil
 }
 
 // importSuite loads a dataset release and prepares the analyses over

@@ -54,8 +54,13 @@ type Config struct {
 	Providers []anycast.ProviderID
 	// Transports selects the transports each client is measured over.
 	// Nil or empty means the paper's set: Do53 (the client's default
-	// resolver) plus DoH. Adding resolver.DoT also runs the extension
-	// DoT measurement per provider. Run rejects unknown kinds.
+	// resolver) plus DoH. Adding resolver.DoT or resolver.DoQ also runs
+	// the extension DoT/DoQ measurements per provider. Adding
+	// resolver.Smart derives the fifth strategy column — "best
+	// available encrypted transport": a modeled happy-eyeballs race
+	// over the client's measured encrypted transports, per provider
+	// (requires at least one of DoH/DoT/DoQ in the set). Run rejects
+	// unknown kinds.
 	Transports []resolver.Kind
 	// AtlasProbes is the probe count per Super-Proxy country for the
 	// Do53 remedy.
@@ -165,13 +170,16 @@ func normalizeTransports(kinds []resolver.Kind) ([]resolver.Kind, error) {
 	out := make([]resolver.Kind, 0, len(kinds))
 	for _, k := range kinds {
 		if !k.Valid() {
-			return nil, fmt.Errorf("campaign: unknown transport %q (want do53, doh, or dot)", k)
+			return nil, fmt.Errorf("campaign: unknown transport %q (want do53, doh, dot, doq, or smart)", k)
 		}
 		if seen[k] {
 			continue
 		}
 		seen[k] = true
 		out = append(out, k)
+	}
+	if seen[resolver.Smart] && !seen[resolver.DoH] && !seen[resolver.DoT] && !seen[resolver.DoQ] {
+		return nil, fmt.Errorf("campaign: smart requires at least one encrypted transport (doh, dot, or doq)")
 	}
 	return out, nil
 }
@@ -225,6 +233,42 @@ type DoTResult struct {
 	Valid bool
 }
 
+// DoQResult is a client's (averaged) DoQ measurement for one provider
+// when the extension DoQ transport is enabled.
+type DoQResult struct {
+	// TDoQMs and TDoQRMs are the first-query and reused-connection
+	// resolution times (milliseconds, averaged over unblocked runs).
+	TDoQMs  float64
+	TDoQRMs float64
+	// BlockedRuns counts this client's runs dropped by UDP/853
+	// filtering for this provider; a client can be partially blocked.
+	BlockedRuns int
+	// Blocked reports total blocking: every run was dropped.
+	Blocked bool
+	// Valid reports at least one unblocked measurement.
+	Valid bool
+}
+
+// SmartResult is the derived fifth strategy — "best available
+// encrypted transport" — for one client and provider: a modeled
+// happy-eyeballs race over the client's measured encrypted transports
+// (DoH/DoT/DoQ, in that canonical launch order, smartStaggerMs apart),
+// remembering the winner for steady state. No wire queries are issued:
+// the column is a pure function of the measured per-transport results,
+// which is what keeps it byte-identical across shards and restores.
+type SmartResult struct {
+	// TSmartMs is the first-query time: the race's winning arrival,
+	// min over candidates i of i*stagger + first_i.
+	TSmartMs float64
+	// TSmartRMs is the steady-state time: the winner's
+	// reused-connection latency (the remembered-winner fast path).
+	TSmartRMs float64
+	// Winner is the transport kind that won the race.
+	Winner string
+	// Valid reports at least one valid encrypted candidate.
+	Valid bool
+}
+
 // ClientRecord is one unique client in the dataset.
 type ClientRecord struct {
 	// ClientID is the proxy network's stable exit-node identifier.
@@ -240,6 +284,12 @@ type ClientRecord struct {
 	// DoT maps provider -> result; nil unless the campaign's
 	// Transports include resolver.DoT.
 	DoT map[anycast.ProviderID]DoTResult
+	// DoQ maps provider -> result; nil unless the campaign's
+	// Transports include resolver.DoQ.
+	DoQ map[anycast.ProviderID]DoQResult
+	// Smart maps provider -> derived best-encrypted-transport result;
+	// nil unless the campaign's Transports include resolver.Smart.
+	Smart map[anycast.ProviderID]SmartResult
 	// Do53Ms is the default-resolver resolution time (milliseconds).
 	Do53Ms float64
 	// Do53Valid is false in the 11 Super-Proxy countries.
@@ -269,6 +319,12 @@ type Dataset struct {
 	// Breakers reports circuit-breaker activity per transport kind;
 	// empty unless Config.Breaker armed them.
 	Breakers map[resolver.Kind]BreakerStats
+	// SmartWins counts, per transport kind, how many (client, provider)
+	// smart races that kind won; nil unless resolver.Smart is in the
+	// transport set. Kept as dataset accounting (not just derivable
+	// from Clients) so the constant-memory DiscardClients mode still
+	// reports the win split.
+	SmartWins map[resolver.Kind]int
 	// Obs is the campaign's observability snapshot: per-provider and
 	// per-country latency histograms, accounting gauges, and the
 	// merged simulator counters. Deterministic for a given Config
@@ -492,6 +548,12 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 				for kind, stats := range acct.transports {
 					ds.Transports[kind] = ds.Transports[kind].merge(stats)
 				}
+				for kind, n := range acct.smartWins {
+					if ds.SmartWins == nil {
+						ds.SmartWins = make(map[resolver.Kind]int)
+					}
+					ds.SmartWins[kind] += n
+				}
 				mergeBreakers(ds.Breakers, acct.breakers)
 				simTotal = addSimStats(simTotal, acct.simStats)
 				aggMu.Unlock()
@@ -683,6 +745,7 @@ type countryRecord struct {
 	Implausible int                              `json:"implausible"`
 	Transports  map[resolver.Kind]TransportStats `json:"transports"`
 	Breakers    map[resolver.Kind]BreakerStats   `json:"breakers,omitempty"`
+	SmartWins   map[resolver.Kind]int            `json:"smart_wins,omitempty"`
 	SimStats    proxynet.SimStats                `json:"sim_stats"`
 }
 
@@ -693,6 +756,7 @@ func newCountryRecord(clients []ClientRecord, acct countryAccounting) countryRec
 		Implausible: acct.implausible,
 		Transports:  acct.transports,
 		Breakers:    acct.breakers,
+		SmartWins:   acct.smartWins,
 		SimStats:    acct.simStats,
 	}
 }
@@ -703,6 +767,7 @@ func (r countryRecord) restore() ([]ClientRecord, countryAccounting) {
 		implausible: r.Implausible,
 		transports:  r.Transports,
 		breakers:    r.Breakers,
+		smartWins:   r.SmartWins,
 		simStats:    r.SimStats,
 	}
 	if acct.transports == nil {
@@ -801,6 +866,9 @@ type countryAccounting struct {
 	// breakers aggregates the country's provider breakers per kind;
 	// nil unless Config.Breaker armed them.
 	breakers map[resolver.Kind]BreakerStats
+	// smartWins counts smart-race wins per transport kind; nil unless
+	// resolver.Smart is in the transport set (and there was a win).
+	smartWins map[resolver.Kind]int
 	// simStats is the country simulator's final counter snapshot,
 	// merged into the campaign registry by Run. Per-country sims keep
 	// private counters (lossTracker needs sequential per-sim deltas),
@@ -852,6 +920,55 @@ func appendHex08(b []byte, v uint64) []byte {
 		b = append(b, digits[(v>>(4*uint(i)))&0xf])
 	}
 	return b
+}
+
+// smartStaggerMs is the fixed happy-eyeballs stagger (milliseconds)
+// the derived smart strategy models between candidate launches. A
+// constant, not a Config knob: the column is part of the released
+// dataset, so its parameters are pinned like the estimator's.
+const smartStaggerMs = 50.0
+
+// smartCandidateOrder is the canonical launch order of the derived
+// smart race: the paper's primary encrypted transport first, then the
+// extensions in the order they were added.
+var smartCandidateOrder = []resolver.Kind{resolver.DoH, resolver.DoT, resolver.DoQ}
+
+// deriveSmart models the smart racing resolver's behavior on one
+// client's measured results for one provider: candidates launch in
+// canonical order smartStaggerMs apart, the first arrival (launch
+// offset + first-query time) wins, and steady state takes the winner's
+// reused-connection latency. Invalid or fully blocked transports never
+// launch — the racing resolver's breaker eviction, in dataset form.
+func deriveSmart(rec *ClientRecord, pid anycast.ProviderID, wants map[resolver.Kind]bool) SmartResult {
+	var out SmartResult
+	slot := 0
+	consider := func(kind resolver.Kind, first, steady float64) {
+		arrival := float64(slot)*smartStaggerMs + first
+		slot++
+		if !out.Valid || arrival < out.TSmartMs {
+			out = SmartResult{TSmartMs: arrival, TSmartRMs: steady, Winner: string(kind), Valid: true}
+		}
+	}
+	for _, kind := range smartCandidateOrder {
+		if !wants[kind] {
+			continue
+		}
+		switch kind {
+		case resolver.DoH:
+			if r, ok := rec.DoH[pid]; ok && r.Valid {
+				consider(kind, r.TDoHMs, r.TDoHRMs)
+			}
+		case resolver.DoT:
+			if r, ok := rec.DoT[pid]; ok && r.Valid {
+				consider(kind, r.TDoTMs, r.TDoTRMs)
+			}
+		case resolver.DoQ:
+			if r, ok := rec.DoQ[pid]; ok && r.Valid {
+				consider(kind, r.TDoQMs, r.TDoQRMs)
+			}
+		}
+	}
+	return out
 }
 
 // measureCountry provisions and measures all of one country's clients
@@ -1115,6 +1232,67 @@ func measureCountry(ctx context.Context, cfg Config, code string, providers []an
 					res.Valid = true
 				}
 				rec.DoT[pid] = res
+			}
+		}
+		if wants[resolver.DoQ] {
+			rec.DoQ = make(map[anycast.ProviderID]DoQResult)
+			for _, pid := range providers {
+				var sumDoQ, sumDoQR float64
+				var got, blocked int
+				brk := brkFor(resolver.DoQ, pid)
+				for run := 0; run < cfg.RunsPerClient; run++ {
+					if brk != nil && !brk.Allow() {
+						skip(resolver.DoQ, 1)
+						continue
+					}
+					name := nextName()
+					if guardHit(name) {
+						skip(resolver.DoQ, 1)
+						continue
+					}
+					obs, gt := sim.MeasureDoQ(node, pid, name)
+					guardMark(name)
+					if brk != nil {
+						if obs.Blocked {
+							brk.Failure()
+						} else {
+							brk.Success()
+						}
+					}
+					account(resolver.DoQ, obs.Blocked, obs.Blocked)
+					if obs.Blocked {
+						blocked++
+						continue
+					}
+					// Ground truth, like DoT: the extension transports
+					// have no estimator of their own.
+					sumDoQ += float64(gt.TDoQ) / float64(time.Millisecond)
+					sumDoQR += float64(gt.TDoQR) / float64(time.Millisecond)
+					got++
+				}
+				res := DoQResult{
+					BlockedRuns: blocked,
+					Blocked:     got == 0 && blocked > 0,
+				}
+				if got > 0 {
+					res.TDoQMs = sumDoQ / float64(got)
+					res.TDoQRMs = sumDoQR / float64(got)
+					res.Valid = true
+				}
+				rec.DoQ[pid] = res
+			}
+		}
+		if wants[resolver.Smart] {
+			rec.Smart = make(map[anycast.ProviderID]SmartResult)
+			for _, pid := range providers {
+				res := deriveSmart(&rec, pid, wants)
+				rec.Smart[pid] = res
+				if res.Valid {
+					if acct.smartWins == nil {
+						acct.smartWins = make(map[resolver.Kind]int)
+					}
+					acct.smartWins[resolver.Kind(res.Winner)]++
+				}
 			}
 		}
 		out = append(out, rec)

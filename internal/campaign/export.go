@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/anycast"
 	"repro/internal/geo"
+	"repro/internal/resolver"
 )
 
 // The paper releases its measurement dataset; this file provides the
@@ -101,6 +102,99 @@ func (ds *Dataset) WriteAtlasCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// smartCSVHeader is the column layout of the smart-strategy side
+// table. The main export's csvHeader is pinned (published datasets
+// must keep importing byte-identically), so the derived fifth strategy
+// column ships as its own table, like the Atlas medians do.
+var smartCSVHeader = []string{"client_id", "provider", "winner", "tsmart_ms", "tsmartr_ms"}
+
+// WriteSmartCSV writes the derived smart-strategy side table: one row
+// per (client, provider) with a valid smart result, in the dataset's
+// client order and the canonical provider order — deterministic, so a
+// merged sharded dataset exports byte-identically to an unsharded one.
+func (ds *Dataset) WriteSmartCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(smartCSVHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	for i := range ds.Clients {
+		c := &ds.Clients[i]
+		for _, pid := range anycast.ProviderIDs() {
+			res, ok := c.Smart[pid]
+			if !ok || !res.Valid {
+				continue
+			}
+			if err := cw.Write([]string{c.ClientID, string(pid), res.Winner, f(res.TSmartMs), f(res.TSmartRMs)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSmartCSV attaches a smart side table to a dataset previously
+// loaded with ReadCSV: each row's result lands on its client, the
+// SmartWins accounting is recomputed from the winner column, and the
+// sketch is rebuilt so the smart latency keys appear exactly as a live
+// campaign would have produced them. Rows naming unknown clients or
+// repeating a (client, provider) pair are corruption and fail loudly.
+func (ds *Dataset) ReadSmartCSV(r io.Reader) error {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("campaign: reading smart CSV header: %w", err)
+	}
+	if len(header) != len(smartCSVHeader) {
+		return fmt.Errorf("campaign: smart CSV has %d columns, want %d", len(header), len(smartCSVHeader))
+	}
+	for i, col := range smartCSVHeader {
+		if header[i] != col {
+			return fmt.Errorf("campaign: smart CSV column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	byID := make(map[string]int, len(ds.Clients))
+	for i := range ds.Clients {
+		byID[ds.Clients[i].ClientID] = i
+	}
+	lineNo := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		lineNo++
+		if err != nil {
+			return fmt.Errorf("campaign: smart CSV line %d: %w", lineNo, err)
+		}
+		idx, ok := byID[row[0]]
+		if !ok {
+			return fmt.Errorf("campaign: smart CSV line %d: unknown client %s", lineNo, row[0])
+		}
+		pid := anycast.ProviderID(row[1])
+		c := &ds.Clients[idx]
+		if c.Smart == nil {
+			c.Smart = make(map[anycast.ProviderID]SmartResult)
+		}
+		if _, dup := c.Smart[pid]; dup {
+			return fmt.Errorf("campaign: smart CSV line %d: duplicate provider %s for client %s", lineNo, pid, row[0])
+		}
+		tsmart, err1 := strconv.ParseFloat(row[3], 64)
+		tsmartr, err2 := strconv.ParseFloat(row[4], 64)
+		if err := firstErr(err1, err2); err != nil {
+			return fmt.Errorf("campaign: smart CSV line %d: %w", lineNo, err)
+		}
+		c.Smart[pid] = SmartResult{TSmartMs: tsmart, TSmartRMs: tsmartr, Winner: row[2], Valid: true}
+		if ds.SmartWins == nil {
+			ds.SmartWins = make(map[resolver.Kind]int)
+		}
+		ds.SmartWins[resolver.Kind(row[2])]++
+	}
+	ds.Sketch = sketchClients(ds.Clients)
+	return nil
 }
 
 // ReadCSV reconstructs a dataset from the main export and an optional

@@ -39,6 +39,9 @@ func msDuration(ms float64) time.Duration {
 //	campaign_country_<code>_doh_ms  all providers' DoH, per country
 //	campaign_do53_ms              valid default-resolver estimates
 //	campaign_dot_<provider>_ms    unblocked DoT ground truth
+//	campaign_doq_<provider>_ms    unblocked DoQ ground truth
+//	campaign_smart_<provider>_ms  derived smart-race first-query time
+//	campaign_smartr_<provider>_ms derived smart steady-state time
 //
 // A country histogram is registered (Touch) for every client's
 // country even when no DoH result is valid, so sketched and merged
@@ -65,6 +68,19 @@ func sketchClients(clients []ClientRecord) *sketch.Set {
 				continue
 			}
 			s.Observe("campaign_dot_"+string(pid)+"_ms", msDuration(res.TDoTMs))
+		}
+		for pid, res := range c.DoQ {
+			if !res.Valid {
+				continue
+			}
+			s.Observe("campaign_doq_"+string(pid)+"_ms", msDuration(res.TDoQMs))
+		}
+		for pid, res := range c.Smart {
+			if !res.Valid {
+				continue
+			}
+			s.Observe("campaign_smart_"+string(pid)+"_ms", msDuration(res.TSmartMs))
+			s.Observe("campaign_smartr_"+string(pid)+"_ms", msDuration(res.TSmartRMs))
 		}
 	}
 	return s
@@ -119,6 +135,9 @@ func publishDataset(reg *obs.Registry, ds *Dataset) {
 		reg.Gauge(p + "probes").Set(float64(bs.Probes))
 		reg.Gauge(p + "open").Set(float64(bs.EndedOpen))
 	}
+	for kind, n := range ds.SmartWins {
+		reg.Gauge("campaign_smart_win_" + string(kind)).Set(float64(n))
+	}
 	for code, med := range ds.AtlasDo53Ms {
 		reg.Gauge("campaign_atlas_do53_ms_" + code).Set(med)
 	}
@@ -128,10 +147,12 @@ func publishDataset(reg *obs.Registry, ds *Dataset) {
 func publishSim(reg *obs.Registry, sim proxynet.SimStats) {
 	reg.Gauge("campaign_sim_loss_events").Set(float64(sim.LossEvents))
 	reg.Gauge("campaign_sim_dot_blocked").Set(float64(sim.DoTBlocked))
+	reg.Gauge("campaign_sim_doq_blocked").Set(float64(sim.DoQBlocked))
 	reg.Gauge("campaign_sim_exit_nodes").Set(float64(sim.ExitNodes))
 	reg.Gauge("campaign_sim_doh_measurements").Set(float64(sim.DoHMeasurements))
 	reg.Gauge("campaign_sim_do53_measurements").Set(float64(sim.Do53Measurements))
 	reg.Gauge("campaign_sim_dot_measurements").Set(float64(sim.DoTMeasurements))
+	reg.Gauge("campaign_sim_doq_measurements").Set(float64(sim.DoQMeasurements))
 	if sim.ChaosResets+sim.ChaosChurns+sim.ChaosHeaderCorruptions > 0 {
 		reg.Gauge("campaign_sim_chaos_resets").Set(float64(sim.ChaosResets))
 		reg.Gauge("campaign_sim_chaos_churns").Set(float64(sim.ChaosChurns))
@@ -143,10 +164,12 @@ func publishSim(reg *obs.Registry, sim proxynet.SimStats) {
 func addSimStats(a, b proxynet.SimStats) proxynet.SimStats {
 	a.LossEvents += b.LossEvents
 	a.DoTBlocked += b.DoTBlocked
+	a.DoQBlocked += b.DoQBlocked
 	a.ExitNodes += b.ExitNodes
 	a.DoHMeasurements += b.DoHMeasurements
 	a.Do53Measurements += b.Do53Measurements
 	a.DoTMeasurements += b.DoTMeasurements
+	a.DoQMeasurements += b.DoQMeasurements
 	a.ChaosResets += b.ChaosResets
 	a.ChaosChurns += b.ChaosChurns
 	a.ChaosHeaderCorruptions += b.ChaosHeaderCorruptions

@@ -107,6 +107,12 @@ func Merge(parts ...*Dataset) (*Dataset, error) {
 		for kind, ts := range p.Transports {
 			merged.Transports[kind] = merged.Transports[kind].merge(ts)
 		}
+		for kind, n := range p.SmartWins {
+			if merged.SmartWins == nil {
+				merged.SmartWins = make(map[resolver.Kind]int)
+			}
+			merged.SmartWins[kind] += n
+		}
 		mergeBreakers(merged.Breakers, p.Breakers)
 		merged.Partial = merged.Partial || p.Partial
 		if p.Sketch == nil {

@@ -32,7 +32,10 @@ func TestNormalizeTransports(t *testing.T) {
 			want: []resolver.Kind{resolver.DoH, resolver.Do53}},
 		{name: "all three", in: []resolver.Kind{resolver.Do53, resolver.DoH, resolver.DoT},
 			want: []resolver.Kind{resolver.Do53, resolver.DoH, resolver.DoT}},
-		{name: "unknown rejected", in: []resolver.Kind{"doq"}, wantErr: "doq"},
+		{name: "full five", in: []resolver.Kind{resolver.Do53, resolver.DoH, resolver.DoT, resolver.DoQ, resolver.Smart},
+			want: []resolver.Kind{resolver.Do53, resolver.DoH, resolver.DoT, resolver.DoQ, resolver.Smart}},
+		{name: "unknown rejected", in: []resolver.Kind{"doq2"}, wantErr: "doq2"},
+		{name: "smart needs encrypted", in: []resolver.Kind{resolver.Do53, resolver.Smart}, wantErr: "encrypted"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -60,7 +63,7 @@ func TestNormalizeTransports(t *testing.T) {
 
 func TestRunRejectsUnknownTransport(t *testing.T) {
 	cfg := smallConfig("US")
-	cfg.Transports = []resolver.Kind{"doq"}
+	cfg.Transports = []resolver.Kind{"doq2"}
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("Run accepted an unknown transport")
 	}

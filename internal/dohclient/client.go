@@ -98,11 +98,13 @@ type Options struct {
 	// Timeout bounds each exchange at the HTTP layer (default 30s).
 	Timeout time.Duration
 	// MaxIdleConnsPerHost caps the idle connections the transport keeps
-	// per host (default 4). Under hedging, size it to at least the
-	// fan-out (max(4, Policy.HedgeMax)): an HTTP/1.1 pool discards idle
-	// connections above the cap after each exchange, so a smaller cap
-	// silently re-pays the handshake and inflates t_DoHR. Ignored when
-	// HTTPClient is set.
+	// per host (default 4). Under hedging or smart transport racing,
+	// size it to at least the fan-out (max(4, Policy.HedgeMax), or the
+	// number of destinations the smart racer first-queries
+	// concurrently): an HTTP/1.1 pool discards idle connections above
+	// the cap after each exchange, so a smaller cap silently re-pays
+	// the handshake and inflates t_DoHR. Ignored when HTTPClient is
+	// set.
 	MaxIdleConnsPerHost int
 }
 

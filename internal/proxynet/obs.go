@@ -49,9 +49,11 @@ type simInstruments struct {
 
 	loss       *obs.Counter
 	dotBlocked *obs.Counter
+	doqBlocked *obs.Counter
 	measDoH    *obs.Counter
 	measDo53   *obs.Counter
 	measDoT    *obs.Counter
+	measDoQ    *obs.Counter
 
 	chaosResets   *obs.Counter
 	chaosChurns   *obs.Counter
@@ -61,6 +63,7 @@ type simInstruments struct {
 	dohDNS, dohConnect, dohTLS, dohRoundTrip *obs.Histogram
 	do53Total                                *obs.Histogram
 	dotTotal, dotReused                      *obs.Histogram
+	doqTotal, doqReused                      *obs.Histogram
 }
 
 // Instrument attaches the simulator to reg: loss events, DoT port-853
@@ -79,9 +82,11 @@ func (s *Sim) Instrument(reg *obs.Registry, tracer *obs.TraceRecorder) {
 		tracer:     tracer,
 		loss:       reg.Counter("proxynet_loss_events_total"),
 		dotBlocked: reg.Counter("proxynet_dot_blocked_total"),
+		doqBlocked: reg.Counter("proxynet_doq_blocked_total"),
 		measDoH:    reg.Counter("proxynet_doh_measurements_total"),
 		measDo53:   reg.Counter("proxynet_do53_measurements_total"),
 		measDoT:    reg.Counter("proxynet_dot_measurements_total"),
+		measDoQ:    reg.Counter("proxynet_doq_measurements_total"),
 
 		chaosResets:   reg.Counter("proxynet_chaos_resets_total"),
 		chaosChurns:   reg.Counter("proxynet_chaos_churns_total"),
@@ -96,6 +101,8 @@ func (s *Sim) Instrument(reg *obs.Registry, tracer *obs.TraceRecorder) {
 		do53Total:    reg.Histogram("proxynet_do53_ms", nil),
 		dotTotal:     reg.Histogram("proxynet_dot_ms", nil),
 		dotReused:    reg.Histogram("proxynet_dotr_ms", nil),
+		doqTotal:     reg.Histogram("proxynet_doq_ms", nil),
+		doqReused:    reg.Histogram("proxynet_doqr_ms", nil),
 	}
 	// The registry counter becomes the single source of truth for loss
 	// events (Stats reads it back through lossPtr); earlier counts are
@@ -164,6 +171,26 @@ func (in *simInstruments) recordDoTBlocked() {
 	}
 	in.measDoT.Inc()
 	in.dotBlocked.Inc()
+}
+
+// recordDoQ feeds one unblocked DoQ measurement into the registry.
+func (in *simInstruments) recordDoQ(gt DoQGroundTruth) {
+	if in == nil {
+		return
+	}
+	in.measDoQ.Inc()
+	in.doqTotal.Observe(gt.TDoQ)
+	in.doqReused.Observe(gt.TDoQR)
+}
+
+// recordDoQBlocked counts a UDP/853 block (the measurement itself
+// still counts as attempted).
+func (in *simInstruments) recordDoQBlocked() {
+	if in == nil {
+		return
+	}
+	in.measDoQ.Inc()
+	in.doqBlocked.Inc()
 }
 
 // recordChaos counts an injected failure by mode.

@@ -57,10 +57,12 @@ type Sim struct {
 type simCounters struct {
 	lossEvents      int64
 	dotBlocked      int64
+	doqBlocked      int64
 	exitNodes       int64
 	dohMeasurements int64
 	do53Measure     int64
 	dotMeasure      int64
+	doqMeasure      int64
 	chaosResets     int64
 	chaosChurns     int64
 	chaosCorrupts   int64
@@ -76,13 +78,16 @@ type SimStats struct {
 	LossEvents int64
 	// DoTBlocked counts DoT sessions dropped by port-853 filtering.
 	DoTBlocked int64
+	// DoQBlocked counts DoQ sessions dropped by UDP/853 filtering.
+	DoQBlocked int64
 	// ExitNodes counts provisioned exit nodes.
 	ExitNodes int64
-	// DoHMeasurements, Do53Measurements, and DoTMeasurements count
-	// measurement runs by transport.
+	// DoHMeasurements, Do53Measurements, DoTMeasurements, and
+	// DoQMeasurements count measurement runs by transport.
 	DoHMeasurements  int64
 	Do53Measurements int64
 	DoTMeasurements  int64
+	DoQMeasurements  int64
 	// ChaosResets, ChaosChurns, and ChaosHeaderCorruptions count
 	// injected failures by mode (zero unless EnableChaos armed them).
 	ChaosResets            int64
@@ -95,10 +100,12 @@ func (s *Sim) Stats() SimStats {
 	return SimStats{
 		LossEvents:             atomic.LoadInt64(s.lossPtr),
 		DoTBlocked:             atomic.LoadInt64(&s.stats.dotBlocked),
+		DoQBlocked:             atomic.LoadInt64(&s.stats.doqBlocked),
 		ExitNodes:              atomic.LoadInt64(&s.stats.exitNodes),
 		DoHMeasurements:        atomic.LoadInt64(&s.stats.dohMeasurements),
 		Do53Measurements:       atomic.LoadInt64(&s.stats.do53Measure),
 		DoTMeasurements:        atomic.LoadInt64(&s.stats.dotMeasure),
+		DoQMeasurements:        atomic.LoadInt64(&s.stats.doqMeasure),
 		ChaosResets:            atomic.LoadInt64(&s.stats.chaosResets),
 		ChaosChurns:            atomic.LoadInt64(&s.stats.chaosChurns),
 		ChaosHeaderCorruptions: atomic.LoadInt64(&s.stats.chaosCorrupts),

@@ -64,6 +64,51 @@ type Policy struct {
 	// Kind names the transport in the registry's metric names
 	// (resolver_<kind>_*). Empty publishes under "all".
 	Kind Kind
+	// Smart tunes the composite racing resolver (internal/smart) when
+	// this policy is used to build one. Apply ignores it — the smart
+	// layer wraps N per-transport stacks, so it cannot be composed from
+	// inside a single stack; smart.New consumes these knobs instead.
+	// Carrying them here keeps every resolver-tuning surface (flags,
+	// configs) on one struct.
+	Smart *SmartOptions
+}
+
+// SmartOptions tunes the smart racing resolver (internal/smart): how
+// races are staggered, how winner memory is scored and decays, and how
+// background re-probing is paced. The zero value of every field means
+// "use the smart package's default". Defined here (not in
+// internal/smart) so Policy can carry the knobs without an import
+// cycle; see internal/smart for the consumer.
+type SmartOptions struct {
+	// Stagger is the happy-eyeballs delay between racing candidate
+	// launches (default 30ms). The presumed-fastest candidate starts
+	// first; each further candidate starts Stagger later unless an
+	// earlier one has already answered.
+	Stagger time.Duration
+	// Alpha is the EWMA weight of a new latency sample in a
+	// candidate's per-destination score, in (0, 1] (default 0.3).
+	Alpha float64
+	// ReRaceAfter is the winner-memory decay horizon: a remembered
+	// winner older than this is dropped and the next query races again
+	// (default 5m; negative disables decay).
+	ReRaceAfter time.Duration
+	// ProbeInterval rate-limits background re-probing of losing
+	// candidates, per destination (default 15s; negative disables
+	// probing).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each background probe (default 5s).
+	ProbeTimeout time.Duration
+	// SwitchMargin is the fraction of the winner's EWMA a loser must
+	// beat for the winner to switch, in (0, 1] (default 0.9: the loser
+	// must be at least 10% faster). Hysteresis against flapping.
+	SwitchMargin float64
+	// Shards is the winner-table shard count, rounded up to a power of
+	// two (default 16).
+	Shards int
+	// MaxDestinations caps remembered destinations across the table
+	// (default 4096). Beyond the cap, new destinations still resolve —
+	// every query races — but are not remembered.
+	MaxDestinations int
 }
 
 // Apply wraps r with the policy's middleware stack.

@@ -299,6 +299,58 @@ func TestHedgingImmediateOnPrimaryFailure(t *testing.T) {
 	}
 }
 
+func TestHedgingNCancelsLosersPromptly(t *testing.T) {
+	// The smart racer (internal/smart) reuses this cancellation
+	// machinery, so pin the contract here: when the winner returns,
+	// every losing in-flight attempt is cancelled promptly and its
+	// goroutine drains — no request may linger until its own timeout.
+	const fanOut = 4
+	var n atomic.Int32
+	cancelled := make(chan struct{}, fanOut)
+	done := make(chan struct{}, fanOut)
+	next := Func(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, Timing, error) {
+		defer func() { done <- struct{}{} }()
+		if n.Add(1) < fanOut {
+			// Losers hang until cancelled; answering on their own
+			// would take far longer than the test allows.
+			select {
+			case <-ctx.Done():
+				cancelled <- struct{}{}
+				return nil, Timing{Attempts: 1}, ctx.Err()
+			case <-time.After(30 * time.Second):
+				return nil, Timing{Attempts: 1}, errWire
+			}
+		}
+		return q.Reply(), Timing{Attempts: 1}, nil
+	})
+	r := WithHedgingN(next, time.Millisecond, fanOut, nil)
+	resp, timing, err := r.Resolve(context.Background(), Query("hn.a.com.", dnswire.TypeA))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if resp == nil {
+		t.Fatal("nil response")
+	}
+	if timing.Attempts != fanOut {
+		t.Errorf("attempts = %d, want %d (winner + in-flight losers)", timing.Attempts, fanOut)
+	}
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < fanOut-1; i++ {
+		select {
+		case <-cancelled:
+		case <-deadline:
+			t.Fatalf("loser %d not cancelled after the winner returned", i)
+		}
+	}
+	for i := 0; i < fanOut; i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatalf("attempt goroutine %d did not drain", i)
+		}
+	}
+}
+
 func TestApplyComposition(t *testing.T) {
 	// Drop -> retry -> pass through the full canonical stack.
 	var delays []time.Duration

@@ -34,19 +34,30 @@ const (
 	Do53 Kind = "do53" // conventional DNS over UDP with TCP fallback
 	DoH  Kind = "doh"  // DNS over HTTPS (RFC 8484)
 	DoT  Kind = "dot"  // DNS over TLS (RFC 7858)
+	DoQ  Kind = "doq"  // DNS over QUIC (RFC 9250), modeled on netsim
+	// Smart is the composite racing strategy (internal/smart): not a
+	// wire protocol of its own, but a Kind so campaigns can select it
+	// as a strategy column and metrics can account for it uniformly.
+	Smart Kind = "smart"
 )
 
-// Kinds returns all supported transports in canonical order.
-func Kinds() []Kind { return []Kind{Do53, DoH, DoT} }
+// Kinds returns all supported transports (and the smart composite
+// strategy) in canonical order.
+func Kinds() []Kind { return []Kind{Do53, DoH, DoT, DoQ, Smart} }
+
+// WireKinds returns the concrete wire transports — every Kind that
+// maps to a single protocol on the network, excluding the smart
+// composite.
+func WireKinds() []Kind { return []Kind{Do53, DoH, DoT, DoQ} }
 
 // ParseKind parses a transport name (case-insensitive; "do53", "doh",
-// "dot").
+// "dot", "doq", or the composite "smart").
 func ParseKind(s string) (Kind, error) {
 	switch k := Kind(strings.ToLower(strings.TrimSpace(s))); k {
-	case Do53, DoH, DoT:
+	case Do53, DoH, DoT, DoQ, Smart:
 		return k, nil
 	default:
-		return "", fmt.Errorf("resolver: unknown transport %q (want do53, doh, or dot)", s)
+		return "", fmt.Errorf("resolver: unknown transport %q (want do53, doh, dot, doq, or smart)", s)
 	}
 }
 

@@ -18,9 +18,11 @@ func TestParseKind(t *testing.T) {
 		{"do53", Do53, false},
 		{"doh", DoH, false},
 		{"dot", DoT, false},
+		{"doq", DoQ, false},
+		{"smart", Smart, false},
 		{"DoH", DoH, false},
 		{"  dot ", DoT, false},
-		{"doq", "", true},
+		{"doq2", "", true},
 		{"", "", true},
 	}
 	for _, tt := range tests {
@@ -38,8 +40,13 @@ func TestParseKind(t *testing.T) {
 			t.Errorf("Kinds() returned invalid kind %q", k)
 		}
 	}
-	if Kind("doq").Valid() {
+	if Kind("doq2").Valid() {
 		t.Error("unknown kind reported valid")
+	}
+	for _, k := range WireKinds() {
+		if k == Smart {
+			t.Error("WireKinds() includes the smart composite")
+		}
 	}
 }
 

@@ -1,0 +1,65 @@
+package smart
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/resolver"
+)
+
+// fixedCand answers with a preallocated reply so it contributes zero
+// allocations to the path under measurement.
+type fixedCand struct {
+	reply *dnswire.Message
+	total time.Duration
+}
+
+func (c *fixedCand) Resolve(ctx context.Context, q *dnswire.Message) (*dnswire.Message, resolver.Timing, error) {
+	return c.reply, resolver.Timing{Attempts: 1, Total: c.total, RoundTrip: c.total}, nil
+}
+
+// TestRememberedWinnerAllocationFree is the 0-alloc gate from the
+// issue: once a destination's winner is remembered, the steady-state
+// Resolve path — table read, winner load, the winner's own Resolve,
+// EWMA fold, counters — must not allocate. Probing and decay are
+// disabled so the measurement isolates the remembered-winner path; the
+// obs counters stay enabled because the real hot path pays them too.
+func TestRememberedWinnerAllocationFree(t *testing.T) {
+	q := resolver.Query(dnswire.NewName("alloc.a.com."), dnswire.TypeA)
+	a := &fixedCand{reply: q.Reply(), total: time.Millisecond}
+	b := &fixedCand{reply: q.Reply(), total: 2 * time.Millisecond}
+	s, err := New(Config{
+		SmartOptions: resolver.SmartOptions{
+			Stagger:       time.Millisecond,
+			ProbeInterval: -1,
+			ReRaceAfter:   -1,
+		},
+		Candidates: []Candidate{
+			{Kind: resolver.Do53, Resolver: a},
+			{Kind: resolver.DoH, Resolver: b},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	// First query races and remembers; everything after is steady state.
+	if _, _, err := s.Resolve(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := s.Resolve(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("remembered-winner Resolve allocates %.1f objects/op, want 0", allocs)
+	}
+	st := s.Stats()
+	if st.Races != 1 {
+		t.Errorf("steady state raced: %+v", st)
+	}
+}

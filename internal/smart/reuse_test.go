@@ -1,0 +1,117 @@
+package smart
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/dohclient"
+	"repro/internal/dohserver"
+	"repro/internal/recursive"
+	"repro/internal/resolver"
+)
+
+// TestSmartRaceFanOutReusesDoHPool pins the dohclient pool sizing
+// against the smart racer's fan-out: when N destinations race their
+// first query concurrently, the DoH candidate opens N simultaneous
+// connections. With MaxIdleConnsPerHost sized to that fan-out the
+// second wave reuses every connection; with a smaller cap the excess
+// connections are discarded after wave one and wave two silently pays
+// fresh handshakes — the regression the option exists to prevent.
+func TestSmartRaceFanOutReusesDoHPool(t *testing.T) {
+	const fanOut = 6
+	run := func(t *testing.T, opts *dohclient.Options) int32 {
+		arrive := make(chan struct{})
+		release := make(chan struct{})
+		r := recursive.New(nil)
+		r.SetDefault(recursive.UpstreamFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+			m := q.Reply()
+			m.Answers = append(m.Answers, dnswire.ResourceRecord{
+				Name: q.Questions[0].Name, Type: dnswire.TypeA,
+				Class: dnswire.ClassIN, TTL: 60,
+				Data: dnswire.ARecord{Addr: netip.MustParseAddr("203.0.113.2")},
+			})
+			return m, nil
+		}))
+		mux := dohserver.NewHandler(r).Mux()
+		srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			// Barrier: hold every query of a wave open at once so the
+			// wave genuinely occupies fanOut connections.
+			arrive <- struct{}{}
+			<-release
+			mux.ServeHTTP(w, req)
+		}))
+		var conns atomic.Int32
+		srv.Config.ConnState = func(_ net.Conn, s http.ConnState) {
+			if s == http.StateNew {
+				conns.Add(1)
+			}
+		}
+		srv.Start()
+		t.Cleanup(srv.Close)
+
+		c, err := dohclient.New(srv.URL+dohserver.DefaultPath, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The DoH candidate launches first in every race (Config order);
+		// the fallback stub never gets a turn with an hour-long stagger.
+		sr, err := New(Config{
+			SmartOptions: resolver.SmartOptions{Stagger: time.Hour, ProbeInterval: -1},
+			Candidates: []Candidate{
+				{Kind: resolver.DoH, Resolver: resolver.NewDoH(c)},
+				{Kind: resolver.Do53, Resolver: &fixedCand{}},
+			},
+			KeyFunc: func(q *dnswire.Message) string { return string(q.Questions[0].Name) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(sr.Close)
+
+		wave := func(tag string) {
+			var wg sync.WaitGroup
+			for i := 0; i < fanOut; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					q := resolver.Query(dnswire.NewName(fmt.Sprintf("%s%d.a.com.", tag, i)), dnswire.TypeA)
+					if _, _, err := sr.Resolve(context.Background(), q); err != nil {
+						t.Errorf("query %s%d: %v", tag, i, err)
+					}
+				}(i)
+			}
+			for i := 0; i < fanOut; i++ {
+				<-arrive
+			}
+			for i := 0; i < fanOut; i++ {
+				release <- struct{}{}
+			}
+			wg.Wait()
+		}
+		wave("w1")
+		wave("w2")
+		return conns.Load()
+	}
+	t.Run("pool sized to fan-out", func(t *testing.T) {
+		got := run(t, &dohclient.Options{MaxIdleConnsPerHost: fanOut})
+		if got != fanOut {
+			t.Errorf("two racing waves used %d connections, want %d (second wave must reuse all)", got, fanOut)
+		}
+	})
+	t.Run("default pool discards above cap", func(t *testing.T) {
+		// Documents the failure mode: the default cap of 4 discards the
+		// two extra wave-1 connections and wave 2 dials again.
+		if got := run(t, nil); got <= fanOut {
+			t.Errorf("two racing waves used %d connections; expected re-dials above %d with the default cap", got, fanOut)
+		}
+	})
+}

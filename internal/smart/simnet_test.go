@@ -1,0 +1,135 @@
+package smart
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dnswire"
+	"repro/internal/geo"
+	"repro/internal/netsim"
+	"repro/internal/resolver"
+	"repro/internal/world"
+)
+
+func simEndpoints() (client, server netsim.Endpoint) {
+	us := world.MustByCode("US")
+	client = netsim.Endpoint{Pos: geo.Point{Lat: 39.04, Lon: -77.49}, Country: us, Residential: true}
+	server = netsim.Endpoint{Pos: geo.Point{Lat: 40.7, Lon: -74.0}, Country: us}
+	return
+}
+
+func newSim(t *testing.T, kind resolver.Kind) *SimTransport {
+	t.Helper()
+	c, srv := simEndpoints()
+	st := NewSimTransport(kind, netsim.DefaultLatencyModel(), 7, 1e6, nil)
+	st.AddDestination("", c, srv, 0)
+	return st
+}
+
+// TestSimTransportProtocolTimelines checks each kind's modeled cost
+// structure: Do53 pays no setup; DoH/DoT pay TCP connect plus a TLS
+// round trip cold and nothing warm; DoQ's QUIC handshake folds
+// transport and crypto into a single round trip cold — strictly one
+// RTT cheaper than DoT on the same path — and resumes 0-RTT warm.
+func TestSimTransportProtocolTimelines(t *testing.T) {
+	q := resolver.Query(dnswire.NewName("sim.a.com."), dnswire.TypeA)
+	for _, kind := range []resolver.Kind{resolver.Do53, resolver.DoH, resolver.DoT, resolver.DoQ} {
+		st := newSim(t, kind)
+		_, cold, err := st.Resolve(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s cold: %v", kind, err)
+		}
+		if cold.Reused {
+			t.Errorf("%s first exchange marked reused", kind)
+		}
+		switch kind {
+		case resolver.Do53:
+			if cold.Connect != 0 || cold.TLSHandshake != 0 {
+				t.Errorf("do53 cold paid setup: %+v", cold)
+			}
+		case resolver.DoH, resolver.DoT:
+			if cold.Connect == 0 || cold.TLSHandshake == 0 {
+				t.Errorf("%s cold skipped a handshake phase: %+v", kind, cold)
+			}
+		case resolver.DoQ:
+			if cold.Connect != 0 {
+				t.Errorf("doq cold paid a separate transport connect: %+v", cold)
+			}
+			if cold.TLSHandshake == 0 {
+				t.Errorf("doq cold skipped the combined handshake: %+v", cold)
+			}
+		}
+		if cold.Total != cold.Connect+cold.TLSHandshake+cold.RoundTrip {
+			t.Errorf("%s Total does not sum phases: %+v", kind, cold)
+		}
+		_, warm, err := st.Resolve(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s warm: %v", kind, err)
+		}
+		if kind != resolver.Do53 {
+			if !warm.Reused {
+				t.Errorf("%s second exchange not reused: %+v", kind, warm)
+			}
+			if warm.Connect != 0 || warm.TLSHandshake != 0 {
+				t.Errorf("%s warm exchange paid setup again: %+v", kind, warm)
+			}
+		}
+	}
+}
+
+// TestSimTransportDoQColdOneRoundTripCheaper compares DoQ and DoT cold
+// starts on identical paths with identical RTT draws (same seed): the
+// QUIC handshake must cost exactly the TCP connect RTT less.
+func TestSimTransportDoQColdOneRoundTripCheaper(t *testing.T) {
+	q := resolver.Query(dnswire.NewName("sim.a.com."), dnswire.TypeA)
+	dot := newSim(t, resolver.DoT)
+	_, dotT, err := dot.Resolve(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doq := newSim(t, resolver.DoQ)
+	_, doqT, err := doq.Resolve(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed: DoT draws connect, tls, roundtrip; DoQ draws tls,
+	// roundtrip from the same sequence — its handshake equals DoT's
+	// connect draw plus compute, so DoQ total = DoT total - one RTT
+	// (modulo which draw each phase consumed; assert the ordering, not
+	// the exact delta).
+	if doqT.Total >= dotT.Total {
+		t.Errorf("doq cold (%v) not cheaper than dot cold (%v)", doqT.Total, dotT.Total)
+	}
+}
+
+func TestSimTransportCancellationKeepsCold(t *testing.T) {
+	c, srv := simEndpoints()
+	// Real time scale: the modeled exchange takes tens of milliseconds,
+	// so an already-cancelled context must win the select.
+	st := NewSimTransport(resolver.DoT, netsim.DefaultLatencyModel(), 7, 1, nil)
+	st.AddDestination("", c, srv, 0)
+	q := resolver.Query(dnswire.NewName("sim.a.com."), dnswire.TypeA)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := st.Resolve(ctx, q); err == nil {
+		t.Fatal("cancelled resolve succeeded")
+	}
+	// The aborted exchange must not have warmed the session.
+	st.scale = 1e6
+	_, timing, err := st.Resolve(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.Reused || timing.Connect == 0 {
+		t.Errorf("destination warm after a cancelled exchange: %+v", timing)
+	}
+}
+
+func TestSimTransportUnknownDestination(t *testing.T) {
+	st := NewSimTransport(resolver.Do53, netsim.DefaultLatencyModel(), 1, 1e6,
+		func(q *dnswire.Message) string { return "nope" })
+	q := resolver.Query(dnswire.NewName("sim.a.com."), dnswire.TypeA)
+	if _, _, err := st.Resolve(context.Background(), q); err == nil {
+		t.Fatal("unknown destination resolved")
+	}
+}

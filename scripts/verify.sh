@@ -21,12 +21,19 @@ go test -race ./internal/cache/... ./internal/resolver/... \
 	./internal/campaign/... ./internal/proxynet/... ./internal/obs/... \
 	./internal/checkpoint/...
 go test -race ./internal/serve/...
+go test -race ./internal/smart/...
+
+step "smart racing soak (short, race, chaos faults + exact accounting)"
+go test -race -run TestSmartSoak -short ./internal/smart/
+
+step "smart 0-alloc remembered-winner gate"
+go test ./internal/smart/ -run 'TestRememberedWinnerAllocationFree'
 
 step "chaos soak (short, race)"
 go test -race -run TestChaosSoak -short ./internal/campaign/
 
 step "scale-out gates (golden merge + claim partition, race)"
-go test -race -run 'TestShardMergeByteIdenticalCSV|TestClaimProtocolPartitionsCountries' \
+go test -race -run 'TestShardMergeByteIdenticalCSV|TestSmartShardMergeByteIdenticalCSV|TestClaimProtocolPartitionsCountries' \
 	./internal/campaign/
 go test -race -run 'TestClaimExactlyOneWinner' ./internal/checkpoint/
 go test -run 'TestShardedAnalysisIdentical' ./internal/analysis/
